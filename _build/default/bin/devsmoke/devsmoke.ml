@@ -1,0 +1,8 @@
+module E = Orap_experiments
+module Benchgen = Orap_benchgen.Benchgen
+let () =
+  let profiles = List.filter (fun p -> p.Benchgen.name = "b19") Benchgen.table1_profiles in
+  let t0 = Unix.gettimeofday () in
+  let rows = E.Table2.run ~params:{ E.Table2.default_params with E.Table2.scale = 8 } ~profiles () in
+  Printf.printf "b19/8 table2 took %.1fs\n" (Unix.gettimeofday () -. t0);
+  E.Report.print (E.Table2.report rows)

@@ -1,0 +1,248 @@
+(** orap — command-line front end.
+
+    Subcommands: generate, lock, atpg, attack, table1, table2, security,
+    trojans.  Run [orap <cmd> --help] for per-command options. *)
+
+open Cmdliner
+module N = Orap_netlist.Netlist
+module Bench_format = Orap_netlist.Bench_format
+module Benchgen = Orap_benchgen.Benchgen
+module Locked = Orap_locking.Locked
+module E = Orap_experiments
+
+let read_netlist path =
+  let src = Bench_format.parse_file path in
+  src.Bench_format.netlist
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let run seed inputs outputs gates out =
+    let nl =
+      Benchgen.generate
+        { Benchgen.seed; num_inputs = inputs; num_outputs = outputs; num_gates = gates }
+    in
+    Bench_format.print_to_file out nl;
+    Printf.printf "wrote %s: %d gates, %d inputs, %d outputs, depth %d\n" out
+      (N.gate_count nl) (N.num_inputs nl) (N.num_outputs nl) (N.depth nl)
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed") in
+  let inputs = Arg.(value & opt int 64 & info [ "inputs" ] ~doc:"primary inputs") in
+  let outputs = Arg.(value & opt int 32 & info [ "outputs" ] ~doc:"primary outputs") in
+  let gates = Arg.(value & opt int 1000 & info [ "gates" ] ~doc:"target gate count") in
+  let out = Arg.(value & opt string "out.bench" & info [ "o"; "output" ] ~doc:"output file") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic benchmark circuit (.bench)")
+    Term.(const run $ seed $ inputs $ outputs $ gates $ out)
+
+(* --- lock --- *)
+
+let lock_cmd =
+  let run input technique key_size ctrl out =
+    let nl = read_netlist input in
+    let locked =
+      match technique with
+      | "weighted" -> Orap_locking.Weighted.lock nl ~key_size ~ctrl_inputs:ctrl
+      | "random" -> Orap_locking.Random_ll.lock nl ~key_size
+      | "sarlock" -> Orap_locking.Sarlock.lock nl ~key_size
+      | "antisat" -> Orap_locking.Antisat.lock nl ~key_size
+      | t -> failwith ("unknown technique " ^ t)
+    in
+    Bench_format.print_to_file out locked.Locked.netlist;
+    let key =
+      String.concat ""
+        (List.map (fun b -> if b then "1" else "0")
+           (Array.to_list locked.Locked.correct_key))
+    in
+    Printf.printf "wrote %s (%s)\ncorrect key: %s\n" out
+      locked.Locked.technique key
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BENCH") in
+  let technique =
+    Arg.(value & opt string "weighted" & info [ "technique" ] ~doc:"weighted|random|sarlock|antisat")
+  in
+  let key_size = Arg.(value & opt int 64 & info [ "key-size" ] ~doc:"key bits") in
+  let ctrl = Arg.(value & opt int 3 & info [ "ctrl-inputs" ] ~doc:"control gate width") in
+  let out = Arg.(value & opt string "locked.bench" & info [ "o"; "output" ] ~doc:"output file") in
+  Cmd.v
+    (Cmd.info "lock" ~doc:"Lock a circuit with a combinational locking technique")
+    Term.(const run $ input $ technique $ key_size $ ctrl $ out)
+
+(* --- atpg --- *)
+
+let atpg_cmd =
+  let run input words limit =
+    let nl = read_netlist input in
+    let r = Orap_atpg.Atpg.run ~random_words:words ~backtrack_limit:limit nl in
+    Printf.printf
+      "faults: %d\ndetected: %d (%.2f%%)\nredundant: %d\naborted: %d\nrandom-phase detections: %d\ndeterministic patterns: %d\n"
+      r.Orap_atpg.Atpg.total_faults r.Orap_atpg.Atpg.detected
+      (Orap_atpg.Atpg.coverage r) r.Orap_atpg.Atpg.redundant
+      r.Orap_atpg.Atpg.aborted r.Orap_atpg.Atpg.random_detected
+      (List.length r.Orap_atpg.Atpg.patterns)
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BENCH") in
+  let words = Arg.(value & opt int 32 & info [ "random-words" ] ~doc:"64-pattern random words") in
+  let limit = Arg.(value & opt int 64 & info [ "backtrack-limit" ] ~doc:"PODEM backtrack limit") in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"Stuck-at ATPG (random phase + PODEM)")
+    Term.(const run $ input $ words $ limit)
+
+(* --- attack --- *)
+
+let attack_cmd =
+  let run attack oracle seed gates key_size =
+    let fx =
+      E.Security.make_fixture ~seed ~num_gates:gates ~key_size ()
+    in
+    let mk_oracle () =
+      match oracle with
+      | "functional" -> Orap_core.Oracle.functional fx.E.Security.locked
+      | "orap" ->
+        let chip = Orap_core.Chip.create fx.E.Security.basic in
+        Orap_core.Chip.unlock chip;
+        Orap_core.Oracle.scan_chip chip
+      | o -> failwith ("unknown oracle " ^ o)
+    in
+    let locked = fx.E.Security.locked in
+    let verdict, iters, queries =
+      match attack with
+      | "sat" ->
+        let r = Orap_attacks.Sat_attack.run locked (mk_oracle ()) in
+        (Orap_attacks.Evaluate.of_key locked r.Orap_attacks.Sat_attack.key,
+         r.Orap_attacks.Sat_attack.iterations, r.Orap_attacks.Sat_attack.queries)
+      | "appsat" ->
+        let r = Orap_attacks.Appsat.run locked (mk_oracle ()) in
+        (Orap_attacks.Evaluate.of_key locked r.Orap_attacks.Appsat.key,
+         r.Orap_attacks.Appsat.iterations, r.Orap_attacks.Appsat.queries)
+      | "ddip" ->
+        let r = Orap_attacks.Double_dip.run locked (mk_oracle ()) in
+        (Orap_attacks.Evaluate.of_key locked r.Orap_attacks.Double_dip.key,
+         r.Orap_attacks.Double_dip.iterations, r.Orap_attacks.Double_dip.queries)
+      | "hill" ->
+        let r = Orap_attacks.Hill_climb.run locked (mk_oracle ()) in
+        (Orap_attacks.Evaluate.of_key locked (Some r.Orap_attacks.Hill_climb.key),
+         r.Orap_attacks.Hill_climb.flips, r.Orap_attacks.Hill_climb.queries)
+      | "sens" ->
+        let r = Orap_attacks.Key_sensitization.run locked (mk_oracle ()) in
+        (Orap_attacks.Evaluate.of_key locked (Some r.Orap_attacks.Key_sensitization.key),
+         r.Orap_attacks.Key_sensitization.sensitized_bits,
+         r.Orap_attacks.Key_sensitization.queries)
+      | a -> failwith ("unknown attack " ^ a)
+    in
+    Printf.printf "%s vs %s oracle: %s (iters=%d, queries=%d)\n" attack oracle
+      (Orap_attacks.Evaluate.to_string verdict) iters queries
+  in
+  let attack = Arg.(value & opt string "sat" & info [ "attack" ] ~doc:"sat|appsat|ddip|hill|sens") in
+  let oracle = Arg.(value & opt string "functional" & info [ "oracle" ] ~doc:"functional|orap") in
+  let seed = Arg.(value & opt int 12 & info [ "seed" ] ~doc:"fixture seed") in
+  let gates = Arg.(value & opt int 500 & info [ "gates" ] ~doc:"fixture gate count") in
+  let key_size = Arg.(value & opt int 32 & info [ "key-size" ] ~doc:"key bits") in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run an oracle-based attack on a locked fixture")
+    Term.(const run $ attack $ oracle $ seed $ gates $ key_size)
+
+(* --- experiment tables --- *)
+
+let scale_arg =
+  Arg.(value & opt int 0 & info [ "scale" ]
+         ~doc:"profile scale divisor; 0 = experiment default, 1 = paper scale")
+
+let table1_cmd =
+  let run scale =
+    let params =
+      if scale = 0 then E.Table1.quick_params
+      else { E.Table1.default_params with E.Table1.scale }
+    in
+    E.Report.print (E.Table1.report (E.Table1.run ~params ()))
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I (HD, area, delay overhead)")
+    Term.(const run $ scale_arg)
+
+let table2_cmd =
+  let run scale =
+    let params =
+      if scale = 0 then E.Table2.quick_params
+      else { E.Table2.default_params with E.Table2.scale }
+    in
+    E.Report.print (E.Table2.report (E.Table2.run ~params ()))
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II (fault coverage)")
+    Term.(const run $ scale_arg)
+
+let security_cmd =
+  let run () =
+    let fx = E.Security.make_fixture () in
+    let f1 = E.Security.fig1 fx in
+    Printf.printf
+      "F1 (Fig.1): unlock correct=%b, cleared on scan=%b, scan locked=%b\n"
+      f1.E.Security.unlock_key_correct f1.E.Security.key_cleared_on_scan
+      f1.E.Security.scan_responses_locked;
+    let f2 = E.Security.fig2 () in
+    Printf.printf "F2 (Fig.2): rising=%b, hold silent=%b, falling silent=%b\n"
+      f2.E.Security.fires_on_rising_edge f2.E.Security.silent_on_level_hold
+      f2.E.Security.silent_on_falling_edge;
+    let f3 = E.Security.fig3 fx in
+    Printf.printf
+      "F3 (Fig.3): honest unlock=%b, frozen FFs break key=%b, basic immune to freeze=%b\n"
+      f3.E.Security.honest_unlock_correct f3.E.Security.frozen_ffs_break_unlock
+      f3.E.Security.responses_differ_from_basic;
+    E.Report.print (E.Security.attack_report (E.Security.attack_matrix fx));
+    Printf.printf "S3 hill-climb on locked test responses: %s\n"
+      (Orap_attacks.Evaluate.to_string (E.Security.hill_climb_on_test_responses fx))
+  in
+  Cmd.v (Cmd.info "security" ~doc:"Figs. 1-3 behaviour and the attack matrix")
+    Term.(const run $ const ())
+
+let trojans_cmd =
+  let run () =
+    let fx = E.Security.make_fixture () in
+    E.Report.print (E.Trojan_table.report (E.Trojan_table.run fx))
+  in
+  Cmd.v (Cmd.info "trojans" ~doc:"Section III Trojan scenarios (payload/outcome)")
+    Term.(const run $ const ())
+
+let ablation_cmd =
+  let run () =
+    let fx = E.Security.make_fixture () in
+    E.Report.print (E.Ablation.a1_report (E.Ablation.site_selection ()));
+    E.Report.print (E.Ablation.a3_report (E.Ablation.key_register_structure ()));
+    E.Report.print (E.Ablation.a4_report (E.Ablation.scheme_comparison fx))
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablation tables")
+    Term.(const run $ const ())
+
+let scanflow_cmd =
+  let run () =
+    let fx = E.Security.make_fixture () in
+    let r = E.Scan_flow.run fx.E.Security.basic in
+    Printf.printf
+      "patterns applied via scan: %d\nresponses match locked prediction: %b\nkey register never held the secret: %b\nATPG coverage: %.2f%%\n"
+      r.E.Scan_flow.patterns_applied r.E.Scan_flow.responses_match_prediction
+      r.E.Scan_flow.key_register_never_secret r.E.Scan_flow.atpg_coverage_pct
+  in
+  Cmd.v
+    (Cmd.info "scanflow"
+       ~doc:"Apply ATPG patterns through the protected chip's scan chains")
+    Term.(const run $ const ())
+
+let export_cmd =
+  let run input out =
+    let nl = read_netlist input in
+    Orap_netlist.Verilog.print_to_file out nl;
+    Printf.printf "wrote %s (structural Verilog, %d gates)\n" out
+      (N.gate_count nl)
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BENCH") in
+  let out = Arg.(value & opt string "out.v" & info [ "o"; "output" ] ~doc:"output file") in
+  Cmd.v (Cmd.info "export" ~doc:"Convert a .bench netlist to structural Verilog")
+    Term.(const run $ input $ out)
+
+let main =
+  Cmd.group
+    (Cmd.info "orap" ~version:"1.0.0"
+       ~doc:"OraP: oracle-protection logic locking (DATE 2020 reproduction)")
+    [ generate_cmd; lock_cmd; atpg_cmd; attack_cmd; export_cmd; table1_cmd;
+      table2_cmd; security_cmd; trojans_cmd; ablation_cmd; scanflow_cmd ]
+
+let () = exit (Cmd.eval main)

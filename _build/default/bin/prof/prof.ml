@@ -1,0 +1,30 @@
+module N = Orap_netlist.Netlist
+module Fault = Orap_faultsim.Fault
+module Fsim = Orap_faultsim.Fsim
+module Benchgen = Orap_benchgen.Benchgen
+let () =
+  let p = List.find (fun p -> p.Benchgen.name = "b19") Benchgen.table1_profiles in
+  let p = Benchgen.scale ~factor:8 p in
+  let nl = Benchgen.of_profile p in
+  Printf.printf "gates=%d\n%!" (N.gate_count nl);
+  let t0 = Unix.gettimeofday () in
+  let faults = Fault.collapsed_list nl in
+  Printf.printf "faults=%d (%.1fs)\n%!" (Array.length faults) (Unix.gettimeofday () -. t0);
+  let remaining = Array.make (Array.length faults) true in
+  let t0 = Unix.gettimeofday () in
+  let stats = Fsim.random_simulate ~words:32 nl faults remaining in
+  Printf.printf "random sim: detected=%d of %d (%.1fs)\n%!"
+    stats.Fsim.detected (Array.length faults) (Unix.gettimeofday () -. t0);
+  (* podem sample of survivors *)
+  let engine = Orap_atpg.Podem.create nl in
+  let survivors = ref [] in
+  Array.iteri (fun i f -> if remaining.(i) then survivors := f :: !survivors) faults;
+  Printf.printf "survivors=%d\n%!" (List.length !survivors);
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 and ab = ref 0 in
+  (try List.iter (fun f ->
+    if !n >= 200 then raise Exit;
+    incr n;
+    match Orap_atpg.Podem.run engine f ~backtrack_limit:64 with
+    | Orap_atpg.Podem.Aborted -> incr ab | _ -> ()) !survivors with Exit -> ());
+  Printf.printf "podem 200 faults: %.1fs (aborted %d)\n%!" (Unix.gettimeofday () -. t0) !ab

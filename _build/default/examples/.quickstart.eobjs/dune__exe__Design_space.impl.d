@@ -1,0 +1,1 @@
+examples/design_space.ml: Array List Orap_benchgen Orap_experiments Orap_lfsr Orap_locking Orap_netlist Orap_sim Printf

@@ -1,0 +1,1 @@
+examples/foundry_trojan.ml: List Orap_benchgen Orap_core Orap_experiments Orap_locking Printf

@@ -1,0 +1,1 @@
+examples/foundry_trojan.mli:

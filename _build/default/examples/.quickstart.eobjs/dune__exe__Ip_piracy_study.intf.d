@@ -1,0 +1,1 @@
+examples/ip_piracy_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Orap_attacks Orap_benchgen Orap_core Orap_dft Orap_locking Orap_netlist Printf

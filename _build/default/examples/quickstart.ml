@@ -1,0 +1,57 @@
+(** Quickstart: lock a circuit, protect its oracle with OraP, and watch the
+    SAT attack win without the protection and lose with it.
+
+    Run with: dune exec examples/quickstart.exe *)
+
+module N = Orap_netlist.Netlist
+module Benchgen = Orap_benchgen.Benchgen
+module Weighted = Orap_locking.Weighted
+module Locked = Orap_locking.Locked
+module Orap = Orap_core.Orap
+module Chip = Orap_core.Chip
+module Oracle = Orap_core.Oracle
+module Sat_attack = Orap_attacks.Sat_attack
+module Evaluate = Orap_attacks.Evaluate
+
+let () =
+  (* 1. a design to protect: synthetic here; load your own .bench with
+     Orap_netlist.Bench_format.parse_file *)
+  let nl =
+    Benchgen.generate
+      { Benchgen.seed = 1; num_inputs = 40; num_outputs = 30; num_gates = 400 }
+  in
+  Printf.printf "circuit: %d gates, %d inputs, %d outputs\n" (N.gate_count nl)
+    (N.num_inputs nl) (N.num_outputs nl);
+
+  (* 2. lock it with weighted logic locking (high output corruptibility) *)
+  let locked = Weighted.lock nl ~key_size:32 ~ctrl_inputs:3 in
+  Printf.printf "locked with %s; wrong keys corrupt %.1f%% of output bits\n"
+    locked.Locked.technique
+    (Locked.hamming_vs_original locked (Array.make 32 true));
+
+  (* 3. wrap it in the OraP oracle protection *)
+  let design =
+    Orap.protect
+      ~config:(Orap.default_config ~kind:Orap.Modified ~num_ffs:15 ())
+      locked
+  in
+  Printf.printf "OraP: %d-cell key LFSR, %d unlock cycles, %d-cell scan chain\n"
+    (Orap.key_size design) (Orap.unlock_cycles design)
+    (Orap_dft.Scan.length design.Orap.chain);
+
+  (* 4. the legitimate owner unlocks the chip *)
+  let chip = Chip.create design in
+  Chip.unlock chip;
+  Printf.printf "owner unlock puts the correct key in the register: %b\n"
+    (Chip.key_register chip = locked.Locked.correct_key);
+
+  (* 5. the attacker, with scan access to an unprotected design, wins *)
+  let r = Sat_attack.run locked (Oracle.functional locked) in
+  Printf.printf "SAT attack, unprotected oracle: %s after %d DIPs\n"
+    (Evaluate.to_string (Evaluate.of_key locked r.Sat_attack.key))
+    r.Sat_attack.iterations;
+
+  (* 6. against the OraP chip, scan access only sees the locked circuit *)
+  let r = Sat_attack.run locked (Oracle.scan_chip chip) in
+  Printf.printf "SAT attack, OraP-protected oracle: %s\n"
+    (Evaluate.to_string (Evaluate.of_key locked r.Sat_attack.key))

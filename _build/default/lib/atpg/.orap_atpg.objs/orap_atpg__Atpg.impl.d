@@ -1,0 +1,1 @@
+lib/atpg/atpg.ml: Array List Orap_faultsim Orap_netlist Orap_sim Podem

@@ -1,0 +1,1 @@
+lib/atpg/atpg.mli: Orap_netlist

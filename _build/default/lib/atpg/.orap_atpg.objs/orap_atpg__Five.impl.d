@@ -1,0 +1,1 @@
+lib/atpg/five.ml: Array Orap_netlist

@@ -1,0 +1,1 @@
+lib/atpg/five.mli: Orap_netlist

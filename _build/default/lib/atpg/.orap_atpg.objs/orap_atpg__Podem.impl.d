@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Five Hashtbl List Orap_faultsim Orap_netlist Scoap

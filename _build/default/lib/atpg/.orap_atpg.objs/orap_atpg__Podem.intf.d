@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Orap_faultsim Orap_netlist

@@ -1,0 +1,1 @@
+lib/atpg/scoap.ml: Array Orap_netlist

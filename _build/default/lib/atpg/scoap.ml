@@ -1,0 +1,89 @@
+(** SCOAP-style testability measures: 0/1 controllabilities per node and the
+    structural distance to the nearest primary output (used to steer PODEM's
+    backtrace and D-frontier choices). *)
+
+module N = Orap_netlist.Netlist
+module Gate = Orap_netlist.Gate
+
+type t = { cc0 : int array; cc1 : int array; dist_po : int array }
+
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let compute (nl : N.t) : t =
+  let n = N.num_nodes nl in
+  let cc0 = Array.make n 0 and cc1 = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let fan = N.fanins nl i in
+    let sum sel = Array.fold_left (fun acc f -> sat_add acc (sel f)) 1 fan in
+    let min_of sel =
+      Array.fold_left (fun acc f -> min acc (sat_add 1 (sel f))) max_int fan
+    in
+    let c0 f = cc0.(f) and c1 f = cc1.(f) in
+    (match N.kind nl i with
+    | Gate.Input ->
+      cc0.(i) <- 1;
+      cc1.(i) <- 1
+    | Gate.Const0 ->
+      cc0.(i) <- 1;
+      cc1.(i) <- max_int
+    | Gate.Const1 ->
+      cc0.(i) <- max_int;
+      cc1.(i) <- 1
+    | Gate.Buf ->
+      cc0.(i) <- sat_add 1 (c0 fan.(0));
+      cc1.(i) <- sat_add 1 (c1 fan.(0))
+    | Gate.Not ->
+      cc0.(i) <- sat_add 1 (c1 fan.(0));
+      cc1.(i) <- sat_add 1 (c0 fan.(0))
+    | Gate.And ->
+      cc0.(i) <- min_of c0;
+      cc1.(i) <- sum c1
+    | Gate.Nand ->
+      cc1.(i) <- min_of c0;
+      cc0.(i) <- sum c1
+    | Gate.Or ->
+      cc1.(i) <- min_of c1;
+      cc0.(i) <- sum c0
+    | Gate.Nor ->
+      cc0.(i) <- min_of c1;
+      cc1.(i) <- sum c0
+    | Gate.Xor | Gate.Xnor ->
+      (* crude but standard approximation via the 2-input recurrences *)
+      let rec fold k acc0 acc1 =
+        if k >= Array.length fan then (acc0, acc1)
+        else begin
+          let f = fan.(k) in
+          let n0 = min (sat_add acc0 (c0 f)) (sat_add acc1 (c1 f)) in
+          let n1 = min (sat_add acc0 (c1 f)) (sat_add acc1 (c0 f)) in
+          fold (k + 1) n0 n1
+        end
+      in
+      let z0, z1 = fold 1 cc0.(fan.(0)) cc1.(fan.(0)) in
+      let z0 = sat_add 1 z0 and z1 = sat_add 1 z1 in
+      if N.kind nl i = Gate.Xor then begin
+        cc0.(i) <- z0;
+        cc1.(i) <- z1
+      end
+      else begin
+        cc0.(i) <- z1;
+        cc1.(i) <- z0
+      end
+    | Gate.Mux ->
+      let sel = fan.(0) and a = fan.(1) and b = fan.(2) in
+      cc0.(i) <-
+        sat_add 1
+          (min (sat_add (c0 sel) (c0 a)) (sat_add (c1 sel) (c0 b)));
+      cc1.(i) <-
+        sat_add 1
+          (min (sat_add (c0 sel) (c1 a)) (sat_add (c1 sel) (c1 b))))
+  done;
+  (* structural distance to the nearest primary output *)
+  let dist_po = Array.make n max_int in
+  Array.iter (fun o -> dist_po.(o) <- 0) (N.outputs nl);
+  for i = n - 1 downto 0 do
+    if dist_po.(i) < max_int then
+      Array.iter
+        (fun f -> if dist_po.(i) + 1 < dist_po.(f) then dist_po.(f) <- dist_po.(i) + 1)
+        (N.fanins nl i)
+  done;
+  { cc0; cc1; dist_po }

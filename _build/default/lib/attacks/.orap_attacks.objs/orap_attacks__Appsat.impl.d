@@ -1,0 +1,1 @@
+lib/attacks/appsat.ml: List Orap_core Orap_locking Orap_sat Orap_sim Sat_attack

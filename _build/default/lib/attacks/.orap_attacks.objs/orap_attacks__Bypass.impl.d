@@ -1,0 +1,1 @@
+lib/attacks/bypass.ml: Array List Orap_core Orap_locking Orap_netlist Orap_sat Orap_sim

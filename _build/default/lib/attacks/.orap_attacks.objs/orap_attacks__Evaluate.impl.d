@@ -1,0 +1,1 @@
+lib/attacks/evaluate.ml: Orap_locking Orap_sim Printf

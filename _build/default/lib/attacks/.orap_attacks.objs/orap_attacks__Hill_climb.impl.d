@@ -1,0 +1,1 @@
+lib/attacks/hill_climb.ml: Array List Orap_core Orap_locking Orap_sim

@@ -1,0 +1,1 @@
+lib/attacks/key_sensitization.ml: Array Orap_core Orap_locking Orap_netlist Orap_sat Orap_sim

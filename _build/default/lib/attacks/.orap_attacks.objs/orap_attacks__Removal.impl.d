@@ -1,0 +1,1 @@
+lib/attacks/removal.ml: Array Hashtbl List Orap_locking Orap_netlist Orap_sim

@@ -1,0 +1,1 @@
+lib/attacks/sat_attack.ml: Array Orap_core Orap_locking Orap_netlist Orap_sat

@@ -1,0 +1,1 @@
+lib/attacks/sps.ml: Array List Orap_locking Orap_netlist Orap_sim

@@ -1,0 +1,87 @@
+(** AppSAT [11]: approximate SAT attack.  The DIP loop is augmented with
+    periodic random-query probes; when the candidate key's error rate on
+    random patterns drops below a threshold, the attack settles for an
+    approximate key instead of waiting for full miter exhaustion (which
+    point-function defences like SARLock push to 2^k iterations). *)
+
+module Locked = Orap_locking.Locked
+module Oracle = Orap_core.Oracle
+module Solver = Orap_sat.Solver
+module Lit = Orap_sat.Lit
+module Prng = Orap_sim.Prng
+
+type result = {
+  key : bool array option;
+  iterations : int;
+  queries : int;
+  settled_approximate : bool;  (** stopped at the error threshold *)
+  estimated_error : float;  (** failing fraction of the probe queries *)
+}
+
+let run ?(max_iterations = 256) ?(probe_every = 8) ?(probe_size = 32)
+    ?(error_threshold = 0.01) ?(seed = 4242) (locked : Locked.t)
+    (oracle : Oracle.t) : result =
+  let st = Sat_attack.make_state locked in
+  let rng = Prng.create seed in
+  let nri = locked.Locked.num_regular_inputs in
+  (* probe the current constraint-consistent key on random queries *)
+  let probe () =
+    match Solver.solve ~assumptions:[| Lit.negate st.Sat_attack.activate |] st.Sat_attack.solver with
+    | Solver.Unsat -> None
+    | Solver.Sat ->
+      let key = Sat_attack.extract_key st st.Sat_attack.k1_vars in
+      Solver.backtrack_to_root st.Sat_attack.solver;
+      let errors = ref 0 in
+      let failing = ref [] in
+      for _ = 1 to probe_size do
+        let x = Prng.bool_array rng nri in
+        let y = Oracle.query oracle x in
+        if Locked.eval locked ~key ~inputs:x <> y then begin
+          incr errors;
+          failing := (x, y) :: !failing
+        end
+      done;
+      Some (key, float_of_int !errors /. float_of_int probe_size, !failing)
+  in
+  let rec loop iters =
+    if iters >= max_iterations then
+      { key = None; iterations = iters; queries = Oracle.num_queries oracle;
+        settled_approximate = false; estimated_error = 1.0 }
+    else if iters > 0 && iters mod probe_every = 0 then begin
+      match probe () with
+      | None ->
+        { key = None; iterations = iters; queries = Oracle.num_queries oracle;
+          settled_approximate = false; estimated_error = 1.0 }
+      | Some (key, err, failing) ->
+        if err <= error_threshold then
+          { key = Some key; iterations = iters;
+            queries = Oracle.num_queries oracle;
+            settled_approximate = true; estimated_error = err }
+        else begin
+          (* failing probes double as constraints, as in AppSAT *)
+          List.iter (fun (x, y) -> Sat_attack.add_io_constraint st x y) failing;
+          dip_step iters
+        end
+    end
+    else dip_step iters
+  and dip_step iters =
+    match Solver.solve ~assumptions:[| st.Sat_attack.activate |] st.Sat_attack.solver with
+    | Solver.Sat ->
+      let dip = Sat_attack.extract_key st st.Sat_attack.x_vars in
+      Solver.backtrack_to_root st.Sat_attack.solver;
+      let y = Oracle.query oracle dip in
+      Sat_attack.add_io_constraint st dip y;
+      loop (iters + 1)
+    | Solver.Unsat -> (
+      match Solver.solve ~assumptions:[| Lit.negate st.Sat_attack.activate |] st.Sat_attack.solver with
+      | Solver.Sat ->
+        let key = Sat_attack.extract_key st st.Sat_attack.k1_vars in
+        Solver.backtrack_to_root st.Sat_attack.solver;
+        { key = Some key; iterations = iters;
+          queries = Oracle.num_queries oracle;
+          settled_approximate = false; estimated_error = 0.0 }
+      | Solver.Unsat ->
+        { key = None; iterations = iters; queries = Oracle.num_queries oracle;
+          settled_approximate = false; estimated_error = 1.0 })
+  in
+  loop 0

@@ -1,0 +1,177 @@
+(** Bypass attack (Xu et al. [12]).
+
+    Pick any wrong key K'; use SAT to enumerate the inputs on which the
+    locked circuit under K' disagrees with the oracle, and patch each with
+    bypass circuitry (an input comparator whose hit flips the affected
+    outputs).  Against point-function defences (SARLock, Anti-SAT) the
+    disagreement set is tiny, so the patched circuit is functionally
+    correct at trivial cost; against high-corruption locking the set is
+    astronomically large and the attack collapses — one more reason the
+    paper pairs OraP with weighted locking. *)
+
+module N = Orap_netlist.Netlist
+module Locked = Orap_locking.Locked
+module Oracle = Orap_core.Oracle
+module Solver = Orap_sat.Solver
+module Lit = Orap_sat.Lit
+module Tseitin = Orap_sat.Tseitin
+module Gate = Orap_netlist.Gate
+
+type result = {
+  key_used : bool array;
+  patches : (bool array * bool array) list;
+      (** (input pattern, output correction mask) — one comparator each *)
+  gave_up : bool;  (** disagreement enumeration exceeded the budget *)
+  netlist : N.t option;  (** the patched circuit, when the attack succeeds *)
+}
+
+(** Overhead of the bypass circuitry in 2-input-gate equivalents: an
+    n-input comparator (n XNORs + AND tree) per patch plus one XOR per
+    corrected output bit. *)
+let patch_overhead (locked : Locked.t) (r : result) : int =
+  let n = locked.Locked.num_regular_inputs in
+  List.fold_left
+    (fun acc (_, mask) ->
+      let flips = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
+      acc + (2 * n) - 1 + flips)
+    0 r.patches
+
+(* Attacker-knowledge-only disagreement discovery (as in [12]): two wrong
+   keys K1, K2 disagree exactly on the union of their "trap" inputs (for
+   point-function locking, one or two patterns).  Enumerate those inputs
+   by SAT, query the oracle there, and record the corrections K1 needs.
+   High-corruption locking makes the disagreement set explode past
+   [budget], which is how the attack fails. *)
+let find_disagreements (locked : Locked.t) (oracle : Oracle.t) key key2 ~budget
+    =
+  let nl = locked.Locked.netlist in
+  let nri = locked.Locked.num_regular_inputs in
+  let solver = Solver.create () in
+  let x_vars = Solver.new_vars solver nri in
+  let ct = Solver.new_var solver in
+  ignore (Solver.add_clause solver [ Lit.pos ct ]);
+  let cf = Solver.new_var solver in
+  ignore (Solver.add_clause solver [ Lit.neg cf ]);
+  let iv_with karr i =
+    if i < nri then x_vars.(i) else if karr.(i - nri) then ct else cf
+  in
+  let o1 =
+    Tseitin.output_vars nl (Tseitin.encode solver nl ~input_var:(iv_with key))
+  in
+  let o2 =
+    Tseitin.output_vars nl (Tseitin.encode solver nl ~input_var:(iv_with key2))
+  in
+  let diffs =
+    Array.map2
+      (fun a b ->
+        let d = Solver.new_var solver in
+        ignore (Solver.add_clause solver [ Lit.neg d; Lit.pos a; Lit.pos b ]);
+        ignore (Solver.add_clause solver [ Lit.neg d; Lit.neg a; Lit.neg b ]);
+        ignore (Solver.add_clause solver [ Lit.pos d; Lit.pos a; Lit.neg b ]);
+        ignore (Solver.add_clause solver [ Lit.pos d; Lit.neg a; Lit.pos b ]);
+        d)
+      o1 o2
+  in
+  ignore (Solver.add_clause solver (Array.to_list (Array.map Lit.pos diffs)));
+  let patches = ref [] in
+  let gave_up = ref false in
+  let budget_left = ref budget in
+  let continue_ = ref true in
+  while !continue_ do
+    if !budget_left = 0 then begin
+      gave_up := true;
+      continue_ := false
+    end
+    else
+      match Solver.solve solver with
+      | Solver.Unsat -> continue_ := false
+      | Solver.Sat ->
+        decr budget_left;
+        let x = Array.map (fun v -> Solver.model_value solver v) x_vars in
+        Solver.backtrack_to_root solver;
+        (* the attacker checks x against the real oracle *)
+        let y_oracle = Oracle.query oracle x in
+        let y_wrong = Locked.eval locked ~key ~inputs:x in
+        let mask = Array.map2 (fun a b -> a <> b) y_wrong y_oracle in
+        if Array.exists (fun b -> b) mask then patches := (x, mask) :: !patches;
+        (* block this input *)
+        ignore
+          (Solver.add_clause solver
+             (Array.to_list
+                (Array.mapi
+                   (fun i v -> if x.(i) then Lit.neg v else Lit.pos v)
+                   x_vars)))
+  done;
+  (List.rev !patches, !gave_up)
+
+(* patch the keyed netlist with comparators *)
+let build_patched (locked : Locked.t) key patches : N.t =
+  let nl = locked.Locked.netlist in
+  let nri = locked.Locked.num_regular_inputs in
+  let b = N.Builder.create ~size_hint:(N.num_nodes nl) () in
+  let map = Array.make (N.num_nodes nl) (-1) in
+  let inputs = N.inputs nl in
+  (* regular inputs stay inputs; key inputs become constants at K' *)
+  Array.iteri
+    (fun pos id ->
+      if pos < nri then map.(id) <- N.Builder.add_input b
+      else
+        map.(id) <-
+          N.Builder.add_node b
+            (if key.(pos - nri) then Gate.Const1 else Gate.Const0)
+            [||])
+    inputs;
+  for i = 0 to N.num_nodes nl - 1 do
+    match N.kind nl i with
+    | Gate.Input -> ()
+    | k ->
+      map.(i) <- N.Builder.add_node b k (Array.map (fun f -> map.(f)) (N.fanins nl i))
+  done;
+  (* hit_j = (x == pattern_j) *)
+  let hits =
+    List.map
+      (fun (pattern, mask) ->
+        let bits =
+          Array.mapi
+            (fun pos id ->
+              if pattern.(pos) then map.(id)
+              else N.Builder.add_node b Gate.Not [| map.(id) |])
+            (Array.sub inputs 0 nri)
+        in
+        (N.Builder.add_node b Gate.And bits, mask))
+      patches
+  in
+  Array.iteri
+    (fun j o ->
+      let flips =
+        List.filter_map
+          (fun (hit, mask) -> if mask.(j) then Some hit else None)
+          hits
+      in
+      match flips with
+      | [] -> N.Builder.mark_output b map.(o)
+      | _ ->
+        let any =
+          match flips with
+          | [ one ] -> one
+          | _ -> N.Builder.add_node b Gate.Or (Array.of_list flips)
+        in
+        N.Builder.mark_output b (N.Builder.add_node b Gate.Xor [| map.(o); any |]))
+    (N.outputs nl);
+  N.Builder.finish b
+
+(** Run the attack.  [budget] bounds the number of disagreeing inputs the
+    attacker is willing to patch (the attack is only viable when the
+    disagreement set is tiny). *)
+let run ?(seed = 97) ?(budget = 32) (locked : Locked.t) (oracle : Oracle.t) :
+    result =
+  let rng = Orap_sim.Prng.create seed in
+  let ksz = Locked.key_size locked in
+  let key = Orap_sim.Prng.bool_array rng ksz in
+  let key2 = Orap_sim.Prng.bool_array rng ksz in
+  let key2 = if key2 = key then Array.mapi (fun i b -> if i = 0 then not b else b) key2 else key2 in
+  let patches, gave_up = find_disagreements locked oracle key key2 ~budget in
+  let netlist =
+    if gave_up then None else Some (build_patched locked key patches)
+  in
+  { key_used = key; patches; gave_up; netlist }

@@ -1,0 +1,97 @@
+(** Double DIP [10]: every distinguishing input must rule out at least two
+    wrong keys at once.  The miter carries two independent key *pairs*; a
+    2-distinguishing input makes both pairs disagree simultaneously while
+    the pairs are kept distinct, which defeats one-key-per-iteration
+    defences such as SARLock. *)
+
+module N = Orap_netlist.Netlist
+module Locked = Orap_locking.Locked
+module Oracle = Orap_core.Oracle
+module Solver = Orap_sat.Solver
+module Lit = Orap_sat.Lit
+module Tseitin = Orap_sat.Tseitin
+
+type result = {
+  key : bool array option;
+  iterations : int;
+  queries : int;
+  proved : bool;
+}
+
+let run ?(max_iterations = 128) (locked : Locked.t) (oracle : Oracle.t) :
+    result =
+  let solver = Solver.create () in
+  let nl = locked.Locked.netlist in
+  let nri = locked.Locked.num_regular_inputs in
+  let ksz = Locked.key_size locked in
+  let x_vars = Solver.new_vars solver nri in
+  let keys = Array.init 4 (fun _ -> Solver.new_vars solver ksz) in
+  let input_var kv i = if i < nri then x_vars.(i) else kv.(i - nri) in
+  let outs =
+    Array.map
+      (fun kv ->
+        Tseitin.output_vars nl (Tseitin.encode solver nl ~input_var:(input_var kv)))
+      keys
+  in
+  let a_var = Solver.new_var solver in
+  let activate = Lit.pos a_var in
+  let add c = ignore (Solver.add_clause solver c) in
+  let xor_var v1 v2 =
+    let d = Solver.new_var solver in
+    add [ Lit.neg d; Lit.pos v1; Lit.pos v2 ];
+    add [ Lit.neg d; Lit.neg v1; Lit.neg v2 ];
+    add [ Lit.pos d; Lit.pos v1; Lit.neg v2 ];
+    add [ Lit.pos d; Lit.neg v1; Lit.pos v2 ];
+    d
+  in
+  let diff_clause o1 o2 =
+    let diffs = Array.map2 xor_var o1 o2 in
+    add (Lit.neg a_var :: Array.to_list (Array.map Lit.pos diffs))
+  in
+  (* both pairs must disagree on the same input *)
+  diff_clause outs.(0) outs.(1);
+  diff_clause outs.(2) outs.(3);
+  (* and the pairs must differ somewhere (key 0 <> key 2) *)
+  let kdiffs = Array.map2 xor_var keys.(0) keys.(2) in
+  add (Lit.neg a_var :: Array.to_list (Array.map Lit.pos kdiffs));
+  let const_true = Solver.new_var solver in
+  let const_false = Solver.new_var solver in
+  add [ Lit.pos const_true ];
+  add [ Lit.neg const_false ];
+  let constrain dip y =
+    Array.iter
+      (fun kv ->
+        let fixed i =
+          if i < nri then if dip.(i) then const_true else const_false
+          else kv.(i - nri)
+        in
+        let nodes = Tseitin.encode solver nl ~input_var:fixed in
+        Array.iteri
+          (fun j ov ->
+            add [ (if y.(j) then Lit.pos ov else Lit.neg ov) ])
+          (Tseitin.output_vars nl nodes))
+      keys
+  in
+  let rec loop iters =
+    if iters >= max_iterations then
+      { key = None; iterations = iters; queries = Oracle.num_queries oracle; proved = false }
+    else
+      match Solver.solve ~assumptions:[| activate |] solver with
+      | Solver.Sat ->
+        let dip = Array.map (fun v -> Solver.model_value solver v) x_vars in
+        Solver.backtrack_to_root solver;
+        let y = Oracle.query oracle dip in
+        constrain dip y;
+        loop (iters + 1)
+      | Solver.Unsat -> (
+        match Solver.solve ~assumptions:[| Lit.negate activate |] solver with
+        | Solver.Sat ->
+          let key = Array.map (fun v -> Solver.model_value solver v) keys.(0) in
+          Solver.backtrack_to_root solver;
+          { key = Some key; iterations = iters;
+            queries = Oracle.num_queries oracle; proved = true }
+        | Solver.Unsat ->
+          { key = None; iterations = iters;
+            queries = Oracle.num_queries oracle; proved = false })
+  in
+  loop 0

@@ -1,0 +1,80 @@
+(** Hill-climbing attack (Plaza & Markov [4]).
+
+    A candidate key is refined by greedy bit flips that reduce the number of
+    output mismatches against correct responses.  Two response sources
+    exist, both oracle-based: live queries to a functional chip, or the
+    designer-supplied test patterns with their (supposedly unlocked)
+    responses — the paper's footnote 1.  Under OraP the chip is tested
+    locked, so that second source yields locked responses and the climb
+    converges to the wrong key. *)
+
+module Locked = Orap_locking.Locked
+module Oracle = Orap_core.Oracle
+module Prng = Orap_sim.Prng
+
+type result = {
+  key : bool array;
+  mismatches : int;  (** remaining mismatching output bits on the sample *)
+  flips : int;
+  queries : int;
+}
+
+(* mismatching output bits of [key] against response pairs *)
+let cost (locked : Locked.t) key pairs =
+  List.fold_left
+    (fun acc (x, y) ->
+      let y' = Locked.eval locked ~key ~inputs:x in
+      let m = ref 0 in
+      Array.iteri (fun j b -> if b <> y'.(j) then incr m) y;
+      acc + !m)
+    0 pairs
+
+let climb (locked : Locked.t) pairs ~seed ~restarts =
+  let ksz = Locked.key_size locked in
+  let rng = Prng.create seed in
+  let best_key = ref (Array.make ksz false) in
+  let best_cost = ref max_int in
+  let flips = ref 0 in
+  for _ = 1 to restarts do
+    let key = Prng.bool_array rng ksz in
+    let current = ref (cost locked key pairs) in
+    let improved = ref true in
+    while !improved && !current > 0 do
+      improved := false;
+      for j = 0 to ksz - 1 do
+        key.(j) <- not key.(j);
+        let c = cost locked key pairs in
+        if c < !current then begin
+          current := c;
+          incr flips;
+          improved := true
+        end
+        else key.(j) <- not key.(j)
+      done
+    done;
+    if !current < !best_cost then begin
+      best_cost := !current;
+      best_key := Array.copy key
+    end
+  done;
+  (!best_key, !best_cost, !flips)
+
+(** Attack from live oracle queries on random patterns. *)
+let run ?(seed = 51) ?(sample = 48) ?(restarts = 3) (locked : Locked.t)
+    (oracle : Oracle.t) : result =
+  let rng = Prng.create seed in
+  let nri = locked.Locked.num_regular_inputs in
+  let pairs =
+    List.init sample (fun _ ->
+        let x = Prng.bool_array rng nri in
+        (x, Oracle.query oracle x))
+  in
+  let key, mismatches, flips = climb locked pairs ~seed:(seed + 1) ~restarts in
+  { key; mismatches; flips; queries = Oracle.num_queries oracle }
+
+(** Attack from given test patterns and their responses (footnote 1): under
+    OraP these are locked-circuit responses. *)
+let run_on_responses ?(seed = 51) ?(restarts = 3) (locked : Locked.t)
+    (pairs : (bool array * bool array) list) : result =
+  let key, mismatches, flips = climb locked pairs ~seed ~restarts in
+  { key; mismatches; flips; queries = 0 }

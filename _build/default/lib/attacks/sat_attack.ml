@@ -1,0 +1,135 @@
+(** The SAT attack of Subramanyan et al. [6].
+
+    The classic loop: build a miter of two locked-circuit copies sharing the
+    primary inputs but carrying independent keys; while the miter is
+    satisfiable, the model's input vector is a distinguishing input pattern
+    (DIP); the oracle's response on the DIP is added as an input/output
+    constraint on both key copies.  When the miter goes unsatisfiable, any
+    key consistent with the accumulated constraints is functionally
+    equivalent to the correct key *provided the oracle answered correctly* —
+    which is exactly the property OraP removes. *)
+
+module N = Orap_netlist.Netlist
+module Locked = Orap_locking.Locked
+module Oracle = Orap_core.Oracle
+module Solver = Orap_sat.Solver
+module Lit = Orap_sat.Lit
+module Tseitin = Orap_sat.Tseitin
+
+type result = {
+  key : bool array option;  (** recovered key, [None] when the attack dies *)
+  iterations : int;
+  queries : int;
+  proved : bool;  (** the miter became UNSAT (claimed-exact key) *)
+}
+
+type state = {
+  locked : Locked.t;
+  solver : Solver.t;
+  x_vars : int array;
+  k1_vars : int array;
+  k2_vars : int array;
+  activate : Lit.t;  (** assumption literal guarding the miter difference *)
+  const_true : int;
+  const_false : int;
+}
+
+let make_state (locked : Locked.t) : state =
+  let solver = Solver.create () in
+  let nl = locked.Locked.netlist in
+  let nri = locked.Locked.num_regular_inputs in
+  let ksz = Locked.key_size locked in
+  let x_vars = Solver.new_vars solver nri in
+  let k1_vars = Solver.new_vars solver ksz in
+  let k2_vars = Solver.new_vars solver ksz in
+  let input_var keys i = if i < nri then x_vars.(i) else keys.(i - nri) in
+  let n1 = Tseitin.encode solver nl ~input_var:(input_var k1_vars) in
+  let n2 = Tseitin.encode solver nl ~input_var:(input_var k2_vars) in
+  let o1 = Tseitin.output_vars nl n1 and o2 = Tseitin.output_vars nl n2 in
+  (* diff_j <- o1_j xor o2_j; assumption literal A guards the "some output
+     differs" clause so the same solver can later produce a consistent key *)
+  let a_var = Solver.new_var solver in
+  let activate = Lit.pos a_var in
+  let diffs =
+    Array.map2
+      (fun v1 v2 ->
+        let d = Solver.new_var solver in
+        ignore (Solver.add_clause solver [ Lit.neg d; Lit.pos v1; Lit.pos v2 ]);
+        ignore (Solver.add_clause solver [ Lit.neg d; Lit.neg v1; Lit.neg v2 ]);
+        ignore (Solver.add_clause solver [ Lit.pos d; Lit.pos v1; Lit.neg v2 ]);
+        ignore (Solver.add_clause solver [ Lit.pos d; Lit.neg v1; Lit.pos v2 ]);
+        d)
+      o1 o2
+  in
+  ignore
+    (Solver.add_clause solver
+       (Lit.neg a_var :: Array.to_list (Array.map Lit.pos diffs)));
+  let const_true = Solver.new_var solver in
+  let const_false = Solver.new_var solver in
+  ignore (Solver.add_clause solver [ Lit.pos const_true ]);
+  ignore (Solver.add_clause solver [ Lit.neg const_false ]);
+  { locked; solver; x_vars; k1_vars; k2_vars; activate; const_true; const_false }
+
+(* add the IO constraint C(dip, K1) = y and C(dip, K2) = y *)
+let add_io_constraint (st : state) (dip : bool array) (y : bool array) =
+  let nl = st.locked.Locked.netlist in
+  let nri = st.locked.Locked.num_regular_inputs in
+  let fixed keys i =
+    if i < nri then if dip.(i) then st.const_true else st.const_false
+    else keys.(i - nri)
+  in
+  let constrain keys =
+    let nodes = Tseitin.encode st.solver nl ~input_var:(fixed keys) in
+    let outs = Tseitin.output_vars nl nodes in
+    Array.iteri
+      (fun j ov ->
+        ignore
+          (Solver.add_clause st.solver
+             [ (if y.(j) then Lit.pos ov else Lit.neg ov) ]))
+      outs
+  in
+  constrain st.k1_vars;
+  constrain st.k2_vars
+
+let extract_key (st : state) vars =
+  Array.map (fun v -> Solver.model_value st.solver v) vars
+
+(** Run the attack against [oracle].  [max_iterations] bounds the DIP loop
+    (the attack reports failure when exceeded). *)
+let run ?(max_iterations = 256) (locked : Locked.t) (oracle : Oracle.t) :
+    result =
+  let st = make_state locked in
+  let rec loop iters =
+    if iters >= max_iterations then
+      { key = None; iterations = iters; queries = Oracle.num_queries oracle; proved = false }
+    else
+      match Solver.solve ~assumptions:[| st.activate |] st.solver with
+      | Solver.Sat ->
+        let dip = extract_key st st.x_vars in
+        Solver.backtrack_to_root st.solver;
+        let y = Oracle.query oracle dip in
+        add_io_constraint st dip y;
+        loop (iters + 1)
+      | Solver.Unsat -> (
+        (* miter exhausted: extract any constraint-consistent key *)
+        match Solver.solve ~assumptions:[| Lit.negate st.activate |] st.solver with
+        | Solver.Sat ->
+          let key = extract_key st st.k1_vars in
+          Solver.backtrack_to_root st.solver;
+          {
+            key = Some key;
+            iterations = iters;
+            queries = Oracle.num_queries oracle;
+            proved = true;
+          }
+        | Solver.Unsat ->
+          (* the oracle's answers were inconsistent with EVERY key — the
+             signature of a locked (OraP-protected) oracle *)
+          {
+            key = None;
+            iterations = iters;
+            queries = Oracle.num_queries oracle;
+            proved = false;
+          })
+  in
+  loop 0

@@ -1,0 +1,1 @@
+lib/benchgen/benchgen.ml: Array Hashtbl List Orap_netlist Orap_sim Printf

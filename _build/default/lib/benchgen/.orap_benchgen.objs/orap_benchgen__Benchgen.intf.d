@@ -1,0 +1,1 @@
+lib/benchgen/benchgen.mli: Orap_netlist

@@ -1,0 +1,1 @@
+lib/core/chip.ml: Array List Orap Orap_dft Orap_lfsr Orap_locking Orap_netlist

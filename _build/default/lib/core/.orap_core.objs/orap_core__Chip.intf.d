@@ -1,0 +1,1 @@
+lib/core/chip.mli: Orap Orap_dft Orap_lfsr

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Chip Orap Orap_locking Orap_netlist

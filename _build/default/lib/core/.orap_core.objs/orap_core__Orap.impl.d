@@ -1,0 +1,1 @@
+lib/core/orap.ml: Array List Orap_dft Orap_lfsr Orap_locking Orap_netlist Orap_sim

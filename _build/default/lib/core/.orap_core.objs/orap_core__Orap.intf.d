@@ -1,0 +1,1 @@
+lib/core/orap.mli: Orap_dft Orap_lfsr Orap_locking

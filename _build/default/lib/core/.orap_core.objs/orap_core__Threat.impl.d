@@ -1,0 +1,1 @@
+lib/core/threat.ml: Array Chip List Oracle Orap Orap_dft Orap_lfsr Orap_locking Orap_sim

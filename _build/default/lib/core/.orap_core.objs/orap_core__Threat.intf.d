@@ -1,0 +1,1 @@
+lib/core/threat.mli: Chip Orap

@@ -1,0 +1,61 @@
+(** Oracle interfaces — the attacker-side view of a functional chip.
+
+    Every oracle answers combinational queries: given a full input vector of
+    the locked core (external PIs ++ state-FF values), return the full
+    output vector (external POs ++ next-state values).  Oracle-based attacks
+    (SAT and friends) are written against this interface, so the same attack
+    code runs against an idealised functional chip and against an
+    OraP-protected chip reached through its scan chains. *)
+
+module N = Orap_netlist.Netlist
+module Locked = Orap_locking.Locked
+
+type t = {
+  query : bool array -> bool array;
+  mutable queries : int;  (** number of oracle calls made so far *)
+  description : string;
+}
+
+let query t inputs =
+  t.queries <- t.queries + 1;
+  t.query inputs
+
+let num_queries t = t.queries
+
+(** Idealised oracle: direct evaluation of the locked circuit under its
+    correct key.  This is what an *unprotected* design leaks through scan
+    (and what attack papers assume). *)
+let functional (locked : Locked.t) : t =
+  {
+    query = (fun inputs -> Locked.eval locked ~key:locked.Locked.correct_key ~inputs);
+    queries = 0;
+    description = "functional oracle (unprotected scan access)";
+  }
+
+(** Oracle reached through an OraP-protected chip's scan interface: scan in
+    the state part, apply the external inputs at the pins, capture, scan
+    out.  The pulse generators clear the key register before the first
+    shift, so the responses are those of the LOCKED circuit — unless a
+    Trojan interferes. *)
+let scan_chip (chip : Chip.t) : t =
+  let d = chip.Chip.design in
+  let n_ext = Orap.num_ext_inputs d in
+  let n_ffs = Orap.num_ffs d in
+  let q inputs =
+    if Array.length inputs <> n_ext + n_ffs then
+      invalid_arg "Oracle.scan_chip: input width";
+    let ext = Array.sub inputs 0 n_ext in
+    let state = Array.sub inputs n_ext n_ffs in
+    let ext_outs, captured = Chip.scan_test chip ~state ~ext_inputs:ext in
+    Array.append ext_outs captured
+  in
+  { query = q; queries = 0; description = "scan oracle (OraP chip)" }
+
+(** Oracle built from a raw key guess — used to evaluate what an attack's
+    recovered key is actually worth. *)
+let with_key (locked : Locked.t) (key : bool array) : t =
+  {
+    query = (fun inputs -> Locked.eval locked ~key ~inputs);
+    queries = 0;
+    description = "keyed evaluation";
+  }

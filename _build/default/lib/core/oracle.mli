@@ -1,0 +1,31 @@
+(** Oracle interfaces — the attacker-side view of a functional chip.  All
+    oracle-based attacks are written against this interface, so the same
+    attack code runs against an idealised functional chip and against an
+    OraP-protected chip reached through its scan chains. *)
+
+type t = {
+  query : bool array -> bool array;
+  mutable queries : int;
+  description : string;
+}
+
+(** Query the oracle with a full input vector of the locked core
+    (external primary inputs followed by state-FF values); returns the full
+    output vector (external outputs followed by next-state values).
+    Increments the query counter. *)
+val query : t -> bool array -> bool array
+
+val num_queries : t -> int
+
+(** Idealised oracle: the locked circuit evaluated under its correct key —
+    what an unprotected design leaks through its scan chains. *)
+val functional : Orap_locking.Locked.t -> t
+
+(** Oracle reached through an OraP chip's scan interface (scan in, capture,
+    scan out).  The pulse generators clear the key register before the first
+    shift, so responses come from the locked circuit — unless the chip
+    carries a Trojan. *)
+val scan_chip : Chip.t -> t
+
+(** Evaluation oracle for an arbitrary key guess. *)
+val with_key : Orap_locking.Locked.t -> bool array -> t

@@ -1,0 +1,261 @@
+(** The OraP oracle-protection scheme (Sections II and III of the paper).
+
+    A protected design bundles: a combinational circuit locked with a
+    high-corruptibility technique (weighted logic locking by default), a
+    key register configured as an LFSR and wired into the scan chains, one
+    pulse generator per LFSR cell clearing it when [scan_enable] rises, and
+    the secret unlock schedule stored in tamper-proof memory.
+
+    Two variants are built:
+    - {b Basic} (Fig. 1): every reseeding point is driven from the
+      tamper-proof memory; the circuit key is the LFSR state after the
+      whole key sequence has been fed.
+    - {b Modified} (Fig. 3): the odd reseeding points are driven by chosen
+      circuit flip-flops, so the (wrong) responses the locked circuit
+      produces *during* unlocking become necessary inputs of the key
+      computation — which is what defeats the FF-freezing Trojan of
+      scenario (e).  Unlocking runs in two phases: a mixing phase A with
+      response feedback active, then a short finalisation phase B in which
+      the controller gates the response points off and the remaining
+      memory-driven injections place the exact key (solved at design time
+      by GF(2) elimination over the symbolic LFSR).  Phase B is a
+      constructive realisation of the paper's schedule (see DESIGN.md,
+      "Known divergences"). *)
+
+module N = Orap_netlist.Netlist
+module Locked = Orap_locking.Locked
+module Lfsr = Orap_lfsr.Lfsr
+module Keyseq = Orap_lfsr.Keyseq
+module Symbolic = Orap_lfsr.Symbolic
+module Bitset = Orap_lfsr.Bitset
+module Scan = Orap_dft.Scan
+module Prng = Orap_sim.Prng
+
+type kind = Basic | Modified
+
+type config = {
+  kind : kind;
+  taps_stride : int;  (** polynomial: a new tap every [taps_stride] cells *)
+  num_seeds : int;  (** seeds of the basic key sequence *)
+  max_free_run : int;
+  chain_style : Scan.style;
+  num_ffs : int;  (** state flip-flops of the sequential wrapper *)
+  phase_a_cycles : int;  (** modified scheme: response-mixing cycles *)
+  seed : int;
+}
+
+let default_config ?(kind = Basic) ~num_ffs () =
+  {
+    kind;
+    taps_stride = 8;
+    num_seeds = 4;
+    max_free_run = 5;
+    chain_style = Scan.Interleaved;
+    num_ffs;
+    phase_a_cycles = 12;
+    seed = 2020;
+  }
+
+(** The modified scheme's unlock schedule. *)
+type modified_schedule = {
+  phase_a : bool array list;  (** per cycle: bits for the memory points *)
+  phase_b : bool array list;  (** finalisation injections (solved) *)
+}
+
+type schedule = Basic_schedule of Keyseq.t | Modified_schedule of modified_schedule
+
+type t = {
+  locked : Locked.t;
+  config : config;
+  lfsr : Lfsr.t;  (** structural template (taps, reseed points) *)
+  chain : Scan.t;
+  schedule : schedule;
+  memory_points : int array;  (** reseed points fed from tamper-proof memory *)
+  response_points : int array;  (** reseed points fed by circuit FFs (modified) *)
+  response_sources : int array;  (** FF index feeding each response point *)
+}
+
+let key_size t = Locked.key_size t.locked
+let num_ffs t = t.config.num_ffs
+
+(** Split [n] external inputs/outputs: a locked circuit with [num_ffs] state
+    flip-flops exposes [inputs - num_ffs] external PIs (the FF outputs are
+    the trailing pseudo-inputs) and [outputs - num_ffs] external POs (the FF
+    next-state functions are the trailing pseudo-outputs). *)
+let num_ext_inputs t = t.locked.Locked.num_regular_inputs - t.config.num_ffs
+let num_ext_outputs t =
+  N.num_outputs t.locked.Locked.netlist - t.config.num_ffs
+
+(* full combinational evaluation: ext inputs ++ ff values ++ key *)
+let comb_eval t ~key ~ext ~ffs =
+  Locked.eval t.locked ~key ~inputs:(Array.append ext ffs)
+
+let split_outputs t (outs : bool array) =
+  let no = Array.length outs in
+  let nff = t.config.num_ffs in
+  (Array.sub outs 0 (no - nff), Array.sub outs (no - nff) nff)
+
+(* --- designer-side unlock-dynamics simulation for the modified scheme --- *)
+
+(* one closed-loop unlock cycle: inject memory bits + FF responses, step the
+   LFSR, clock the circuit FFs *)
+let closed_loop_cycle t ~lfsr ~(ffs : bool array) ~(memory_bits : bool array)
+    ~response_active =
+  let width = Lfsr.num_reseed_points lfsr in
+  let inj = Array.make width false in
+  Array.iteri (fun k p -> inj.(p) <- memory_bits.(k)) t.memory_points;
+  if response_active then
+    Array.iteri
+      (fun k p -> inj.(p) <- ffs.(t.response_sources.(k)))
+      t.response_points;
+  Lfsr.step ~injection:inj lfsr;
+  (* the circuit clocks with the evolving (wrong) key; primary inputs are
+     held at zero by the unlock controller *)
+  let key = Lfsr.state lfsr in
+  let ext = Array.make (num_ext_inputs t) false in
+  let outs = comb_eval t ~key ~ext ~ffs in
+  let _, next_ffs = split_outputs t outs in
+  next_ffs
+
+(* Injection positions are indices into the reseed-point array; memory and
+   response points partition it even/odd (interleaved, per the paper). *)
+let split_points lfsr kind =
+  let pts = Lfsr.reseed_points_of lfsr in
+  match kind with
+  | Basic -> (Array.copy pts, [||])
+  | Modified ->
+    let mem = ref [] and resp = ref [] in
+    Array.iteri
+      (fun k p -> if k land 1 = 0 then mem := p :: !mem else resp := p :: !resp)
+      pts;
+    (Array.of_list (List.rev !mem), Array.of_list (List.rev !resp))
+
+exception Construction_failure of string
+
+(** Build a protected design around an already locked circuit.  The locked
+    circuit's correct key becomes the target of the unlock schedule. *)
+let protect ?(config : config option) (locked : Locked.t) : t =
+  let n = Locked.key_size locked in
+  let cfg =
+    match config with
+    | Some c -> c
+    | None ->
+      default_config
+        ~num_ffs:(min (locked.Locked.num_regular_inputs / 2)
+                    (N.num_outputs locked.Locked.netlist / 2))
+        ()
+  in
+  if cfg.num_ffs > locked.Locked.num_regular_inputs then
+    raise (Construction_failure "more FFs than circuit inputs");
+  if cfg.num_ffs > N.num_outputs locked.Locked.netlist then
+    raise (Construction_failure "more FFs than circuit outputs");
+  let lfsr =
+    Lfsr.create
+      ~taps:(Lfsr.default_taps ~size:n ~stride:cfg.taps_stride)
+      ~reseed_points:(Lfsr.all_reseed_points n)
+      ~size:n ()
+  in
+  let chain =
+    Scan.build ~style:cfg.chain_style ~num_key:n ~num_state:cfg.num_ffs ()
+  in
+  let memory_points, response_points = split_points lfsr cfg.kind in
+  let rng = Prng.create cfg.seed in
+  let response_sources =
+    Array.init (Array.length response_points) (fun _ ->
+        Prng.int rng (max 1 cfg.num_ffs))
+  in
+  let partial =
+    {
+      locked;
+      config = cfg;
+      lfsr;
+      chain;
+      schedule = Basic_schedule { Keyseq.entries = [] };
+      memory_points;
+      response_points;
+      response_sources;
+    }
+  in
+  let target = locked.Locked.correct_key in
+  let schedule =
+    match cfg.kind with
+    | Basic ->
+      Basic_schedule
+        (Keyseq.solve_for_key ~max_free_run:cfg.max_free_run ~seed:cfg.seed
+           ~num_seeds:cfg.num_seeds lfsr ~target_key:target)
+    | Modified ->
+      (* phase A: random memory bits, closed loop *)
+      let mw = Array.length memory_points in
+      let phase_a =
+        List.init cfg.phase_a_cycles (fun _ -> Prng.bool_array rng mw)
+      in
+      let sim_lfsr = Lfsr.create ~taps:(Lfsr.taps_of lfsr) ~size:n () in
+      Lfsr.reset sim_lfsr;
+      let ffs = ref (Array.make cfg.num_ffs false) in
+      List.iter
+        (fun bits ->
+          ffs :=
+            closed_loop_cycle partial ~lfsr:sim_lfsr ~ffs:!ffs
+              ~memory_bits:bits ~response_active:true)
+        phase_a;
+      let sigma = Lfsr.state sim_lfsr in
+      (* phase B: symbolic over the memory-point injections only *)
+      let phase_b_cycles = (2 * ((n + mw - 1) / mw)) + 4 in
+      let num_vars = phase_b_cycles * mw in
+      let mem_lfsr =
+        Lfsr.create ~taps:(Lfsr.taps_of lfsr) ~reseed_points:memory_points
+          ~size:n ()
+      in
+      let sym = Symbolic.create mem_lfsr ~num_vars in
+      for c = 0 to phase_b_cycles - 1 do
+        let inj =
+          Array.init mw (fun k -> Bitset.singleton num_vars ((c * mw) + k))
+        in
+        Symbolic.step ~injection:inj mem_lfsr sym
+      done;
+      (* constant part: evolve sigma with zero injections *)
+      Lfsr.set_state mem_lfsr sigma;
+      Lfsr.free_run mem_lfsr phase_b_cycles;
+      let const_part = Lfsr.state mem_lfsr in
+      let rhs = Array.mapi (fun i k -> k <> const_part.(i)) target in
+      (match Symbolic.solve (Symbolic.cells sym) ~num_vars rhs with
+      | None ->
+        raise
+          (Construction_failure
+             "modified schedule: finalisation system is rank-deficient")
+      | Some sol ->
+        let phase_b =
+          List.init phase_b_cycles (fun c ->
+              Array.init mw (fun k -> sol.((c * mw) + k)))
+        in
+        Modified_schedule { phase_a; phase_b })
+  in
+  { partial with schedule }
+
+(** Number of unlock clock cycles. *)
+let unlock_cycles t =
+  match t.schedule with
+  | Basic_schedule ks -> Keyseq.unlock_cycles ks
+  | Modified_schedule m -> List.length m.phase_a + List.length m.phase_b
+
+(** OraP's own hardware, in the paper's gate units (inverters free):
+    one pulse-generator NAND per LFSR cell, one XOR per reseeding point and
+    one XOR per polynomial tap.  The LFSR flip-flops are not counted — a key
+    register is common to all locking schemes (Section IV). *)
+type hardware = { pulse_gen_gates : int; reseed_xors : int; tap_xors : int }
+
+let hardware t =
+  let n = key_size t in
+  {
+    pulse_gen_gates = n * Orap_dft.Pulse_gen.gate_cost;
+    reseed_xors = Lfsr.num_reseed_points t.lfsr;
+    tap_xors =
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+        (Lfsr.taps_of t.lfsr);
+  }
+
+let hardware_gate_count h = h.pulse_gen_gates + h.reseed_xors + h.tap_xors
+
+(** The same hardware expressed in AIG AND-node units (XOR = 3 ANDs), for
+    combining with the synthesis metrics of Table I. *)
+let hardware_and_nodes h = h.pulse_gen_gates + (3 * (h.reseed_xors + h.tap_xors))

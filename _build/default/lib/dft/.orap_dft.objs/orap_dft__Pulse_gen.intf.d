@@ -1,0 +1,1 @@
+lib/dft/pulse_gen.mli:

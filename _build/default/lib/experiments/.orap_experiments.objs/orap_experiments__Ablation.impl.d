@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array List Orap_benchgen Orap_core Orap_lfsr Orap_locking Orap_netlist Orap_sim Orap_synth Report Security

@@ -1,0 +1,1 @@
+lib/experiments/scan_flow.ml: Array List Orap_atpg Orap_core Orap_locking Orap_netlist

@@ -1,0 +1,1 @@
+lib/experiments/security.ml: Array List Orap_attacks Orap_benchgen Orap_core Orap_dft Orap_locking Orap_netlist Orap_sim Report

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Orap_benchgen Orap_core Orap_locking Orap_netlist Orap_sim Orap_synth Report

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: List Orap_atpg Orap_benchgen Orap_locking Orap_netlist Report

@@ -1,0 +1,1 @@
+lib/experiments/trojan_table.ml: List Orap_core Report Security

@@ -1,0 +1,55 @@
+(** Plain-text table rendering for the experiment harnesses. *)
+
+type align = L | R
+
+type t = { title : string; header : string list; aligns : align list; mutable rows : string list list }
+
+let create ~title ~header ~aligns =
+  if List.length header <> List.length aligns then invalid_arg "Report.create";
+  { title; header; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then invalid_arg "Report.add_row";
+  t.rows <- t.rows @ [ row ]
+
+let render t : string =
+  let cols = List.length t.header in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure t.header;
+  List.iter measure t.rows;
+  let pad align width s =
+    let d = width - String.length s in
+    match align with
+    | L -> s ^ String.make d ' '
+    | R -> String.make d ' ' ^ s
+  in
+  let line row =
+    let cells =
+      List.mapi
+        (fun i cell -> pad (List.nth t.aligns i) widths.(i) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (line t.header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let d x = string_of_int x
+let b x = if x then "yes" else "no"

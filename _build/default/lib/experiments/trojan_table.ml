@@ -1,0 +1,43 @@
+(** S2: the Section-III Trojan scenario table — payload overheads and
+    end-to-end attack outcomes for scenarios (a)–(e), against both the
+    basic and the modified OraP schemes. *)
+
+module Orap = Orap_core.Orap
+module Threat = Orap_core.Threat
+
+type row = {
+  scenario : Threat.scenario;
+  scheme : string;
+  outcome : Threat.outcome;
+}
+
+let run (fx : Security.fixture) : row list =
+  List.concat_map
+    (fun (scheme, design) ->
+      List.map
+        (fun sc -> { scenario = sc; scheme; outcome = Threat.run design sc })
+        Threat.all_scenarios)
+    [ ("basic", fx.Security.basic); ("modified", fx.Security.modified) ]
+
+let report (rows : row list) : Report.t =
+  let t =
+    Report.create ~title:"Section III Trojan scenarios: payload and outcome"
+      ~header:
+        [ "Scenario"; "Scheme"; "Oracle obtained"; "Payload (NAND2-eq)";
+          "Side-channel detectable"; "Defeated" ]
+      ~aligns:[ Report.L; Report.L; Report.L; Report.R; Report.L; Report.L ]
+  in
+  List.iter
+    (fun r ->
+      Report.add_row t
+        [ Threat.scenario_label r.scenario; r.scheme;
+          Report.b r.outcome.Threat.oracle_obtained;
+          Report.f1 r.outcome.Threat.payload_nand2;
+          Report.b r.outcome.Threat.detectable;
+          Report.b (Threat.defeated r.outcome) ])
+    rows;
+  t
+
+(** The paper's 128-bit reference point for scenario (a): "roughly 64 NAND2
+    gates". *)
+let paper_reference_payload_a ~key_size = 0.5 *. float_of_int key_size

@@ -1,0 +1,1 @@
+lib/faultsim/fault.ml: Array List Orap_netlist Printf Stdlib

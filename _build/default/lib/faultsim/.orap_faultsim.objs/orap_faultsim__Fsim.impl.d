@@ -1,0 +1,1 @@
+lib/faultsim/fsim.ml: Array Fault Int64 List Orap_netlist Orap_sim

@@ -1,0 +1,18 @@
+(** Single stuck-at fault model with standard equivalence collapsing. *)
+
+type site =
+  | Output of int  (** node id: fault on the node's output stem *)
+  | Input of int * int  (** (node id, fanin position): fanout-branch fault *)
+
+type t = { site : site; stuck : bool }
+
+val compare : t -> t -> int
+val to_string : Orap_netlist.Netlist.t -> t -> string
+
+(** Collapsed list: stem faults everywhere, branch faults only on fanout
+    branches, controlled-value and inverter/buffer input faults folded into
+    their equivalents. *)
+val collapsed_list : Orap_netlist.Netlist.t -> t array
+
+(** Uncollapsed fault count, for reporting. *)
+val total_uncollapsed : Orap_netlist.Netlist.t -> int

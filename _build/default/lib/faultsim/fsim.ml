@@ -1,0 +1,217 @@
+(** Parallel-pattern single-fault propagation (HOPE-style): 64 patterns per
+    word, event-driven faulty-value propagation restricted to the affected
+    region, fault dropping on first detection. *)
+
+module N = Orap_netlist.Netlist
+module Gate = Orap_netlist.Gate
+module Sim = Orap_sim.Sim
+module Prng = Orap_sim.Prng
+
+(* min-heap of node ids for event-driven forward propagation *)
+module Heap = struct
+  type h = { mutable a : int array; mutable len : int; mutable mem : bool array }
+
+  let create n = { a = Array.make 64 0; len = 0; mem = Array.make n false }
+
+  let push h x =
+    if not h.mem.(x) then begin
+      h.mem.(x) <- true;
+      if h.len = Array.length h.a then begin
+        let b = Array.make (2 * h.len) 0 in
+        Array.blit h.a 0 b 0 h.len;
+        h.a <- b
+      end;
+      h.a.(h.len) <- x;
+      h.len <- h.len + 1;
+      let i = ref (h.len - 1) in
+      while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
+        let p = (!i - 1) / 2 in
+        let tmp = h.a.(p) in
+        h.a.(p) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := p
+      done
+    end
+
+  let pop h =
+    let top = h.a.(0) in
+    h.mem.(top) <- false;
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.len && h.a.(l) < h.a.(!m) then m := l;
+      if r < h.len && h.a.(r) < h.a.(!m) then m := r;
+      if !m = !i then continue_ := false
+      else begin
+        let tmp = h.a.(!m) in
+        h.a.(!m) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !m
+      end
+    done;
+    top
+
+  let is_empty h = h.len = 0
+end
+
+type t = {
+  nl : N.t;
+  fanouts : int array array;
+  is_output : bool array;
+  (* scratch: faulty values of the current fault's affected region *)
+  faulty : int64 array;
+  dirty : bool array;
+  touched : int list ref;
+  (* reusable event heap: drained (and thus self-cleaned) after every use *)
+  heap : Heap.h;
+}
+
+let create (nl : N.t) : t =
+  let n = N.num_nodes nl in
+  let is_output = Array.make n false in
+  Array.iter (fun o -> is_output.(o) <- true) (N.outputs nl);
+  {
+    nl;
+    fanouts = N.fanouts nl;
+    is_output;
+    faulty = Array.make n 0L;
+    dirty = Array.make n false;
+    touched = ref [];
+    heap = Heap.create n;
+  }
+
+(** Simulate one fault against one 64-pattern word of good values.
+    Returns the mask of patterns that detect the fault. *)
+let detect_word (t : t) (good : int64 array) (fault : Fault.t) : int64 =
+  let nl = t.nl in
+  (* clean scratch from the previous fault *)
+  List.iter (fun n -> t.dirty.(n) <- false) !(t.touched);
+  t.touched := [];
+  let set_faulty n w =
+    if not t.dirty.(n) then begin
+      t.dirty.(n) <- true;
+      t.touched := n :: !(t.touched)
+    end;
+    t.faulty.(n) <- w
+  in
+  let value n = if t.dirty.(n) then t.faulty.(n) else good.(n) in
+  let stuck_word = if fault.Fault.stuck then Int64.minus_one else 0L in
+  let eval_node ?forced n =
+    match N.kind nl n with
+    | Gate.Input -> good.(n) (* PI values never change *)
+    | k ->
+      let fan = N.fanins nl n in
+      let ops =
+        Array.mapi
+          (fun pos f ->
+            match forced with
+            | Some (p, w) when p = pos -> w
+            | _ -> value f)
+          fan
+      in
+      Gate.eval_word k ops
+  in
+  let heap = t.heap in
+  let activate n w =
+    if w <> good.(n) then begin
+      set_faulty n w;
+      Array.iter (fun r -> Heap.push heap r) t.fanouts.(n)
+    end
+  in
+  (match fault.Fault.site with
+  | Fault.Output n -> activate n stuck_word
+  | Fault.Input (n, pos) ->
+    let w = eval_node ~forced:(pos, stuck_word) n in
+    activate n w);
+  let faulty_site_input n pos =
+    (* during propagation the faulty branch keeps its stuck value *)
+    match fault.Fault.site with
+    | Fault.Input (fn, fpos) when fn = n && fpos = pos -> Some stuck_word
+    | Fault.Input _ | Fault.Output _ -> None
+  in
+  while not (Heap.is_empty heap) do
+    let n = Heap.pop heap in
+    let w =
+      match N.kind nl n with
+      | Gate.Input -> good.(n)
+      | k ->
+        let fan = N.fanins nl n in
+        let ops =
+          Array.mapi
+            (fun pos f ->
+              match faulty_site_input n pos with
+              | Some sw -> sw
+              | None -> value f)
+            fan
+        in
+        Gate.eval_word k ops
+    in
+    (match fault.Fault.site with
+    | Fault.Output fn when fn = n -> () (* site output stays stuck *)
+    | Fault.Output _ | Fault.Input _ ->
+      if w <> value n then begin
+        set_faulty n w;
+        Array.iter (fun r -> Heap.push heap r) t.fanouts.(n)
+      end)
+  done;
+  (* detected on the patterns where some primary output finally differs *)
+  let final = ref 0L in
+  List.iter
+    (fun n ->
+      if t.is_output.(n) then
+        final := Int64.logor !final (Int64.logxor (value n) good.(n)))
+    !(t.touched);
+  !final
+
+type stats = { mutable detected : int; mutable simulated_words : int }
+
+(** Random-pattern fault simulation with dropping.  [faults] is mutated:
+    [remaining.(i)] is set to [false] when fault [i] is detected.  Returns
+    statistics. *)
+let random_simulate ?(seed = 99) ~words (nl : N.t) (faults : Fault.t array)
+    (remaining : bool array) : stats =
+  let t = create nl in
+  let rng = Prng.create seed in
+  let ni = N.num_inputs nl in
+  let stats = { detected = 0; simulated_words = 0 } in
+  let input_buf = Array.make ni 0L in
+  for _ = 1 to words do
+    for i = 0 to ni - 1 do
+      input_buf.(i) <- Prng.next64 rng
+    done;
+    let good = Sim.eval_word nl ~input_word:(fun i -> input_buf.(i)) in
+    stats.simulated_words <- stats.simulated_words + 1;
+    Array.iteri
+      (fun i f ->
+        if remaining.(i) then
+          if detect_word t good f <> 0L then begin
+            remaining.(i) <- false;
+            stats.detected <- stats.detected + 1
+          end)
+      faults
+  done;
+  stats
+
+(** Simulate a single concrete test pattern (from ATPG) against the
+    remaining faults, dropping everything it detects.  Unspecified inputs
+    must already be filled by the caller. *)
+let simulate_pattern (t : t) (pattern : bool array) (faults : Fault.t array)
+    (remaining : bool array) : int =
+  let good =
+    Sim.eval_word t.nl ~input_word:(fun i ->
+        if pattern.(i) then Int64.minus_one else 0L)
+  in
+  let dropped = ref 0 in
+  Array.iteri
+    (fun i f ->
+      if remaining.(i) then
+        if detect_word t good f <> 0L then begin
+          remaining.(i) <- false;
+          incr dropped
+        end)
+    faults;
+  !dropped

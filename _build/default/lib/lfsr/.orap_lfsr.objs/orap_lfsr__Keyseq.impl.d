@@ -1,0 +1,1 @@
+lib/lfsr/keyseq.ml: Array Lfsr List Orap_sim Symbolic

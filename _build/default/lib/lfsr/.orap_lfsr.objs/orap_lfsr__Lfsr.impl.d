@@ -1,0 +1,1 @@
+lib/lfsr/lfsr.ml: Array

@@ -1,0 +1,1 @@
+lib/lfsr/symbolic.ml: Array Bitset Lfsr List

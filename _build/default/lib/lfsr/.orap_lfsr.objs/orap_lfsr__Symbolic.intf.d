@@ -1,0 +1,1 @@
+lib/lfsr/symbolic.mli: Bitset Lfsr

@@ -1,0 +1,58 @@
+(** Dense bitsets over a fixed universe, used as GF(2) linear expressions
+    (bit [i] set = variable [i] appears in the expression). *)
+
+type t = { width : int; words : int array }
+
+let words_for width = (width + 62) / 63
+
+let create width = { width; words = Array.make (max 1 (words_for width)) 0 }
+
+let copy t = { t with words = Array.copy t.words }
+
+let singleton width i =
+  let t = create width in
+  t.words.(i / 63) <- 1 lsl (i mod 63);
+  t
+
+let xor_into ~(into : t) (src : t) =
+  for k = 0 to Array.length into.words - 1 do
+    into.words.(k) <- into.words.(k) lxor src.words.(k)
+  done
+
+let xor a b =
+  let r = copy a in
+  xor_into ~into:r b;
+  r
+
+let mem t i = (t.words.(i / 63) lsr (i mod 63)) land 1 = 1
+
+let set t i = t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63))
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount t =
+  let pc x =
+    let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+    go x 0
+  in
+  Array.fold_left (fun acc w -> acc + pc w) 0 t.words
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let iter f t =
+  for i = 0 to t.width - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.width - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+(** Evaluate the linear expression on a boolean variable assignment. *)
+let eval t (assignment : bool array) =
+  let acc = ref false in
+  iter (fun i -> if assignment.(i) then acc := not !acc) t;
+  !acc

@@ -1,0 +1,20 @@
+(** Dense bitsets over a fixed universe, used as GF(2) linear expressions
+    (bit [i] set = variable [i] appears). *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val singleton : int -> int -> t
+val xor_into : into:t -> t -> unit
+val xor : t -> t -> t
+val mem : t -> int -> bool
+val set : t -> int -> unit
+val is_empty : t -> bool
+val popcount : t -> int
+val equal : t -> t -> bool
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+
+(** Evaluate the linear expression on a variable assignment. *)
+val eval : t -> bool array -> bool

@@ -1,0 +1,120 @@
+(** Symbolic (GF(2)) simulation of the key-register LFSR: every cell holds a
+    linear expression over the seed-bit variables instead of a binary value.
+
+    This is exactly the computation the paper's attack scenario (d) performs
+    ("replace the unknown key-bit values with binary variables and perform a
+    symbolic simulation of the LFSR"); the size of the resulting expressions
+    dictates the XOR-tree payload such a Trojan must embed, which is the
+    countermeasure's security argument. *)
+
+type t = {
+  lfsr_size : int;
+  num_vars : int;
+  mutable cells : Bitset.t array;
+}
+
+let create (lfsr : Lfsr.t) ~num_vars =
+  {
+    lfsr_size = Lfsr.size lfsr;
+    num_vars;
+    cells = Array.init (Lfsr.size lfsr) (fun _ -> Bitset.create num_vars);
+  }
+
+let cells t = t.cells
+
+(** One symbolic clock edge mirroring {!Lfsr.step}.  [injection] gives the
+    expression XORed in at each reseeding point. *)
+let step ?injection (lfsr : Lfsr.t) (t : t) =
+  let n = t.lfsr_size in
+  let fb = t.cells.(n - 1) in
+  let next = Array.init n (fun _ -> Bitset.create t.num_vars) in
+  Bitset.xor_into ~into:next.(0) fb;
+  for i = 1 to n - 1 do
+    Bitset.xor_into ~into:next.(i) t.cells.(i - 1);
+    if (Lfsr.taps_of lfsr).(i) then Bitset.xor_into ~into:next.(i) fb
+  done;
+  (match injection with
+  | None -> ()
+  | Some inj ->
+    Array.iteri
+      (fun k p -> Bitset.xor_into ~into:next.(p) inj.(k))
+      (Lfsr.reseed_points_of lfsr));
+  t.cells <- next
+
+(** Final-state expressions after feeding [num_seeds] seeds with the given
+    free-run gaps.  Variable [s * width + k] is bit [k] of seed [s]. *)
+let of_schedule (lfsr : Lfsr.t) ~num_seeds ~free_runs : Bitset.t array =
+  let width = Lfsr.num_reseed_points lfsr in
+  let num_vars = num_seeds * width in
+  let t = create lfsr ~num_vars in
+  List.iteri
+    (fun s fr ->
+      let inj =
+        Array.init width (fun k -> Bitset.singleton num_vars ((s * width) + k))
+      in
+      step ~injection:inj lfsr t;
+      for _ = 1 to fr do
+        step lfsr t
+      done)
+    free_runs;
+  t.cells
+
+(** XOR-gate count of the combinational trees realising the expressions —
+    the payload of attack scenario (d). *)
+let xor_tree_gates (exprs : Bitset.t array) : int =
+  Array.fold_left (fun acc e -> acc + max 0 (Bitset.popcount e - 1)) 0 exprs
+
+(** Average number of variables per cell expression (expression density). *)
+let mean_terms (exprs : Bitset.t array) : float =
+  let total = Array.fold_left (fun acc e -> acc + Bitset.popcount e) 0 exprs in
+  float_of_int total /. float_of_int (Array.length exprs)
+
+(** Solve the GF(2) linear system [exprs * x = target] by Gaussian
+    elimination.  [num_vars] is the variable universe of the expressions.
+    Returns a satisfying assignment (free variables at [false]), or [None]
+    when the system is inconsistent. *)
+let solve (exprs : Bitset.t array) ~num_vars (target : bool array) :
+    bool array option =
+  let n = Array.length exprs in
+  if Array.length target <> n then invalid_arg "Symbolic.solve";
+  let rows = Array.map Bitset.copy exprs in
+  let rhs = Array.copy target in
+  let solution = Array.make num_vars false in
+  let pivot_of_row = Array.make n (-1) in
+  let r = ref 0 in
+  for col = 0 to num_vars - 1 do
+    if !r < n then begin
+      let found = ref (-1) in
+      for i = !r to n - 1 do
+        if !found < 0 && Bitset.mem rows.(i) col then found := i
+      done;
+      match !found with
+      | -1 -> ()
+      | i ->
+        let tmp = rows.(i) in
+        rows.(i) <- rows.(!r);
+        rows.(!r) <- tmp;
+        let tb = rhs.(i) in
+        rhs.(i) <- rhs.(!r);
+        rhs.(!r) <- tb;
+        for j = 0 to n - 1 do
+          if j <> !r && Bitset.mem rows.(j) col then begin
+            Bitset.xor_into ~into:rows.(j) rows.(!r);
+            rhs.(j) <- rhs.(j) <> rhs.(!r)
+          end
+        done;
+        pivot_of_row.(!r) <- col;
+        incr r
+    end
+  done;
+  let consistent = ref true in
+  for i = !r to n - 1 do
+    if rhs.(i) && Bitset.is_empty rows.(i) then consistent := false
+  done;
+  if not !consistent then None
+  else begin
+    for i = 0 to !r - 1 do
+      if rhs.(i) then solution.(pivot_of_row.(i)) <- true
+    done;
+    Some solution
+  end

@@ -1,0 +1,25 @@
+(** Symbolic (GF(2)) simulation of the key-register LFSR: every cell holds
+    a linear expression over the seed-bit variables — the computation behind
+    attack scenario (d) and the designer-side schedule solving. *)
+
+type t
+
+val create : Lfsr.t -> num_vars:int -> t
+val cells : t -> Bitset.t array
+
+(** One symbolic clock edge mirroring {!Lfsr.step}. *)
+val step : ?injection:Bitset.t array -> Lfsr.t -> t -> unit
+
+(** Final-state expressions after [num_seeds] seeds with the given free-run
+    gaps; variable [s * width + k] is bit [k] of seed [s]. *)
+val of_schedule : Lfsr.t -> num_seeds:int -> free_runs:int list -> Bitset.t array
+
+(** XOR-gate count of trees realising the expressions (scenario (d)'s
+    payload). *)
+val xor_tree_gates : Bitset.t array -> int
+
+(** Average variables per cell expression. *)
+val mean_terms : Bitset.t array -> float
+
+(** Solve [exprs * x = target] over GF(2); [None] when inconsistent. *)
+val solve : Bitset.t array -> num_vars:int -> bool array -> bool array option

@@ -1,0 +1,1 @@
+lib/locking/antisat.ml: Array Locked Orap_netlist Orap_sim Printf

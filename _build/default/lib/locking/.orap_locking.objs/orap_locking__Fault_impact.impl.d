@@ -1,0 +1,1 @@
+lib/locking/fault_impact.ml: Array Hashtbl Int64 List Orap_faultsim Orap_netlist Orap_sim

@@ -1,0 +1,1 @@
+lib/locking/locked.ml: Array Orap_netlist Orap_sim

@@ -1,0 +1,1 @@
+lib/locking/locked.mli: Orap_netlist Orap_sim

@@ -1,0 +1,1 @@
+lib/locking/random_ll.ml: Array Hashtbl List Locked Orap_netlist Orap_sim Printf

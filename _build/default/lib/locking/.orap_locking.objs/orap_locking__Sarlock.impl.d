@@ -1,0 +1,1 @@
+lib/locking/sarlock.ml: Array Locked Orap_netlist Orap_sim Printf

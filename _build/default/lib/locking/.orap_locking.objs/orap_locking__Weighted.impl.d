@@ -1,0 +1,1 @@
+lib/locking/weighted.ml: Array Fault_impact Hashtbl List Locked Orap_netlist Orap_sim Printf

@@ -1,0 +1,1 @@
+lib/locking/weighted.mli: Locked Orap_netlist

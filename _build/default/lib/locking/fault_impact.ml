@@ -1,0 +1,108 @@
+(** Fault-impact ranking of candidate key-gate sites, as in fault-analysis
+    based locking [3] and weighted logic locking [26]: the impact of a wire
+    is how many output bits flip, over random patterns, when the wire is
+    inverted.  High-impact wires give key gates maximal corruption reach. *)
+
+module N = Orap_netlist.Netlist
+module Gate = Orap_netlist.Gate
+module Sim = Orap_sim.Sim
+module Prng = Orap_sim.Prng
+
+(* event-driven propagation of "node inverted", counting output bit flips;
+   [heap] is reusable scratch (drained on exit) *)
+let impact_of_word nl fanouts is_output heap good node : int =
+  let faulty : (int, int64) Hashtbl.t = Hashtbl.create 64 in
+  let value n = match Hashtbl.find_opt faulty n with Some w -> w | None -> good.(n) in
+  let module H = Orap_faultsim.Fsim.Heap in
+  Hashtbl.replace faulty node (Int64.lognot good.(node));
+  Array.iter (fun r -> H.push heap r) fanouts.(node);
+  while not (H.is_empty heap) do
+    let n = H.pop heap in
+    let w =
+      match N.kind nl n with
+      | Gate.Input -> good.(n)
+      | k -> Gate.eval_word k (Array.map value (N.fanins nl n))
+    in
+    if w <> value n then begin
+      Hashtbl.replace faulty n w;
+      Array.iter (fun r -> H.push heap r) fanouts.(n)
+    end
+  done;
+  let diff = ref 0 in
+  Hashtbl.iter
+    (fun n w ->
+      if is_output.(n) then diff := !diff + Sim.popcount64 (Int64.logxor w good.(n)))
+    faulty;
+  !diff
+
+(** Impact scores for all internal (non-input) nodes, estimated over
+    [words] random 64-pattern words; unscored nodes get 0. *)
+let scores ?(seed = 17) ?(words = 2) ?(max_candidates = 4000) (nl : N.t) :
+    int array =
+  let n = N.num_nodes nl in
+  let fanouts = N.fanouts nl in
+  let is_output = Array.make n false in
+  Array.iter (fun o -> is_output.(o) <- true) (N.outputs nl);
+  let rng = Prng.create seed in
+  (* candidate sample: all logic nodes, or a random subset on big circuits *)
+  let logic_nodes =
+    List.init n (fun i -> i)
+    |> List.filter (fun i ->
+           match N.kind nl i with
+           | Gate.Input | Gate.Const0 | Gate.Const1 -> false
+           | _ -> Array.length fanouts.(i) > 0)
+  in
+  let candidates =
+    let total = List.length logic_nodes in
+    if total <= max_candidates then logic_nodes
+    else
+      List.filter (fun _ -> Prng.int rng total < max_candidates) logic_nodes
+  in
+  let score = Array.make n 0 in
+  let ni = N.num_inputs nl in
+  let input_buf = Array.make ni 0L in
+  let heap = Orap_faultsim.Fsim.Heap.create n in
+  for _ = 1 to words do
+    for i = 0 to ni - 1 do
+      input_buf.(i) <- Prng.next64 rng
+    done;
+    let good = Sim.eval_word nl ~input_word:(fun i -> input_buf.(i)) in
+    List.iter
+      (fun node ->
+        score.(node) <-
+          score.(node) + impact_of_word nl fanouts is_output heap good node)
+      candidates
+  done;
+  score
+
+(** The [count] highest-impact distinct sites, optionally avoiding
+    near-critical timing paths (what yields the paper's 0% delay
+    overheads): nodes with slack below [min_slack] are used only when the
+    off-critical supply runs out. *)
+let top_sites ?seed ?words ?max_candidates ?(avoid_critical = true)
+    ?(min_slack = 3) (nl : N.t) ~count : int array =
+  let score = scores ?seed ?words ?max_candidates nl in
+  let slack = if avoid_critical then N.slacks nl else [||] in
+  let is_critical i = avoid_critical && slack.(i) < min_slack in
+  let ranked =
+    List.init (N.num_nodes nl) (fun i -> i)
+    |> List.filter (fun i -> score.(i) > 0)
+    |> List.sort (fun a b -> compare score.(b) score.(a))
+  in
+  let non_critical = List.filter (fun i -> not (is_critical i)) ranked in
+  let critical_ranked = List.filter is_critical ranked in
+  let take k l =
+    let rec go k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: go (k - 1) rest
+    in
+    go k l
+  in
+  let picked = take count non_critical in
+  let picked =
+    if List.length picked < count then
+      picked @ take (count - List.length picked) critical_ranked
+    else picked
+  in
+  Array.of_list picked

@@ -1,0 +1,52 @@
+(** Common representation of a locked combinational circuit.
+
+    The locked netlist's inputs are the original primary inputs followed by
+    the key inputs; [correct_key.(j)] is the value that must drive key input
+    [j] for the circuit to be functionally equivalent to the original. *)
+
+module N = Orap_netlist.Netlist
+module Hamming = Orap_sim.Hamming
+
+type t = {
+  original : N.t;
+  netlist : N.t;
+  num_regular_inputs : int;
+  correct_key : bool array;
+  technique : string;
+}
+
+let key_size t = Array.length t.correct_key
+
+let key_input_positions t =
+  Array.init (key_size t) (fun j -> t.num_regular_inputs + j)
+
+(** Bindings that fix the key inputs to [key] and share the regular inputs
+    with pattern stream indices [0 .. num_regular_inputs-1]. *)
+let bindings_with_key t (key : bool array) : Hamming.binding array =
+  if Array.length key <> key_size t then invalid_arg "Locked.bindings_with_key";
+  Array.init (N.num_inputs t.netlist) (fun i ->
+      if i < t.num_regular_inputs then Hamming.Shared i
+      else Hamming.Fixed key.(i - t.num_regular_inputs))
+
+let config_with_key t key = Hamming.config t.netlist (bindings_with_key t key)
+
+let original_config t =
+  Hamming.config t.original
+    (Array.init (N.num_inputs t.original) (fun i -> Hamming.Shared i))
+
+(** Average output Hamming distance (in percent) between the circuit under
+    [key] and the original circuit, over shared random patterns. *)
+let hamming_vs_original ?seed ?(words = 64) t key =
+  100.0
+  *. Hamming.distance ?seed ~words (original_config t) (config_with_key t key)
+
+(** Is the locked circuit (under [key]) equal to the original on [words]
+    random 64-pattern words?  A cheap functional-equivalence proxy. *)
+let equivalent_under_key ?seed ?(words = 64) t key =
+  Hamming.distance ?seed ~words (original_config t) (config_with_key t key)
+  = 0.0
+
+(** Simulate the locked circuit on regular inputs + key. *)
+let eval t ~key ~(inputs : bool array) : bool array =
+  if Array.length inputs <> t.num_regular_inputs then invalid_arg "Locked.eval";
+  Orap_sim.Sim.eval_bools t.netlist (Array.append inputs key)

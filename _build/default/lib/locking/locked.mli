@@ -1,0 +1,33 @@
+(** Common representation of a locked combinational circuit: the locked
+    netlist's inputs are the original primary inputs followed by the key
+    inputs. *)
+
+type t = {
+  original : Orap_netlist.Netlist.t;
+  netlist : Orap_netlist.Netlist.t;
+  num_regular_inputs : int;
+  correct_key : bool array;
+  technique : string;
+}
+
+val key_size : t -> int
+
+(** Input positions (within the locked netlist) of the key inputs. *)
+val key_input_positions : t -> int array
+
+(** Hamming-measurement bindings fixing the key and sharing the regular
+    inputs with the pattern stream. *)
+val bindings_with_key : t -> bool array -> Orap_sim.Hamming.binding array
+
+val config_with_key : t -> bool array -> Orap_sim.Hamming.config
+val original_config : t -> Orap_sim.Hamming.config
+
+(** Average output Hamming distance (percent) of the circuit under [key]
+    vs. the original, over shared random patterns. *)
+val hamming_vs_original : ?seed:int -> ?words:int -> t -> bool array -> float
+
+(** Random-simulation equivalence proxy (zero Hamming distance). *)
+val equivalent_under_key : ?seed:int -> ?words:int -> t -> bool array -> bool
+
+(** Evaluate on regular inputs plus a key. *)
+val eval : t -> key:bool array -> inputs:bool array -> bool array

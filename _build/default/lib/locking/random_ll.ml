@@ -1,0 +1,61 @@
+(** Random XOR/XNOR logic locking (the EPIC [2] baseline): one key bit per
+    key gate, spliced at random internal wires. *)
+
+module N = Orap_netlist.Netlist
+module Gate = Orap_netlist.Gate
+module Prng = Orap_sim.Prng
+
+let lock ?(seed = 13) (nl : N.t) ~key_size : Locked.t =
+  let rng = Prng.create seed in
+  let correct_key = Prng.bool_array rng key_size in
+  (* pick distinct internal wires *)
+  let logic_nodes =
+    List.init (N.num_nodes nl) (fun i -> i)
+    |> List.filter (fun i ->
+           match N.kind nl i with
+           | Gate.Input | Gate.Const0 | Gate.Const1 -> false
+           | _ -> true)
+  in
+  if List.length logic_nodes < key_size then
+    invalid_arg "Random_ll.lock: circuit too small";
+  let arr = Array.of_list logic_nodes in
+  (* Fisher-Yates prefix shuffle *)
+  let n = Array.length arr in
+  for i = 0 to min (key_size - 1) (n - 2) do
+    let j = i + Prng.int rng (n - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  let site_key = Hashtbl.create 32 in
+  for j = 0 to key_size - 1 do
+    Hashtbl.replace site_key arr.(j) j
+  done;
+  let b = N.Builder.create ~size_hint:(N.num_nodes nl + (2 * key_size)) () in
+  let map = Array.make (N.num_nodes nl) (-1) in
+  Array.iter (fun id -> map.(id) <- N.Builder.add_input b) (N.inputs nl);
+  let key_ids =
+    Array.init key_size (fun j ->
+        N.Builder.add_input ~name:(Printf.sprintf "key%d" j) b)
+  in
+  for i = 0 to N.num_nodes nl - 1 do
+    (match N.kind nl i with
+    | Gate.Input -> ()
+    | k ->
+      let fan = Array.map (fun f -> map.(f)) (N.fanins nl i) in
+      map.(i) <- N.Builder.add_node b k fan);
+    match Hashtbl.find_opt site_key i with
+    | None -> ()
+    | Some j ->
+      (* XOR gate passes the wire when the key bit is 0, XNOR when 1 *)
+      let kind = if correct_key.(j) then Gate.Xnor else Gate.Xor in
+      map.(i) <- N.Builder.add_node b kind [| map.(i); key_ids.(j) |]
+  done;
+  Array.iter (fun o -> N.Builder.mark_output b map.(o)) (N.outputs nl);
+  {
+    Locked.original = nl;
+    netlist = N.Builder.finish b;
+    num_regular_inputs = N.num_inputs nl;
+    correct_key;
+    technique = Printf.sprintf "random(k=%d)" key_size;
+  }

@@ -1,0 +1,104 @@
+(** Weighted logic locking (Karousos et al. [26]), the output-corruption
+    layer the paper pairs with OraP.
+
+    The key is partitioned into groups of [ctrl_inputs] bits.  Each group
+    drives a control gate — a NAND (resp. AND) over the key bits, each
+    selectively inverted so the gate output is 0 (resp. 1) exactly on the
+    correct sub-key — and the control output feeds an XOR (resp. XNOR) key
+    gate spliced into a high-fault-impact wire.  A wrong random key
+    actuates each key gate with probability 1 - 2^-w, which is what buys
+    the high output corruptibility. *)
+
+module N = Orap_netlist.Netlist
+module Gate = Orap_netlist.Gate
+module Prng = Orap_sim.Prng
+
+type params = {
+  key_size : int;
+  ctrl_inputs : int;  (** control-gate width w; Table I uses 3 or 5 *)
+  avoid_critical : bool;
+  seed : int;
+}
+
+let default_params ~key_size ~ctrl_inputs =
+  { key_size; ctrl_inputs; avoid_critical = true; seed = 7 }
+
+(* partition 0..key_size-1 into groups of width w (last group may be short) *)
+let key_groups ~key_size ~ctrl_inputs =
+  let rec go start acc =
+    if start >= key_size then List.rev acc
+    else begin
+      let w = min ctrl_inputs (key_size - start) in
+      go (start + w) (Array.init w (fun j -> start + j) :: acc)
+    end
+  in
+  go 0 []
+
+let num_key_gates ~key_size ~ctrl_inputs =
+  List.length (key_groups ~key_size ~ctrl_inputs)
+
+let lock ?(params : params option) (nl : N.t) ~key_size ~ctrl_inputs :
+    Locked.t =
+  let p =
+    match params with
+    | Some p -> p
+    | None -> default_params ~key_size ~ctrl_inputs
+  in
+  let rng = Prng.create p.seed in
+  let correct_key = Prng.bool_array rng p.key_size in
+  let groups = key_groups ~key_size:p.key_size ~ctrl_inputs:p.ctrl_inputs in
+  let sites =
+    Fault_impact.top_sites ~seed:(p.seed + 1) ~avoid_critical:p.avoid_critical
+      nl ~count:(List.length groups)
+  in
+  if Array.length sites < List.length groups then
+    invalid_arg "Weighted.lock: circuit too small for this key size";
+  let b = N.Builder.create ~size_hint:(N.num_nodes nl + (4 * p.key_size)) () in
+  (* regular inputs keep their positions, then the key inputs *)
+  let map = Array.make (N.num_nodes nl) (-1) in
+  Array.iteri (fun _ id -> map.(id) <- N.Builder.add_input b) (N.inputs nl);
+  let key_ids =
+    Array.init p.key_size (fun j ->
+        N.Builder.add_input ~name:(Printf.sprintf "key%d" j) b)
+  in
+  (* site -> its key group index *)
+  let site_group = Hashtbl.create 32 in
+  List.iteri
+    (fun gi group -> Hashtbl.replace site_group sites.(gi) (gi, group))
+    groups;
+  for i = 0 to N.num_nodes nl - 1 do
+    (match N.kind nl i with
+    | Gate.Input -> () (* already mapped *)
+    | k ->
+      let fan = Array.map (fun f -> map.(f)) (N.fanins nl i) in
+      map.(i) <- N.Builder.add_node b k fan);
+    match Hashtbl.find_opt site_group i with
+    | None -> ()
+    | Some (gi, group) ->
+      (* alternate XOR/NAND and XNOR/AND flavours per gate *)
+      let use_xnor = gi land 1 = 1 in
+      let lits =
+        Array.map
+          (fun kbit ->
+            (* the control gate must see 1 on the correct sub-key for the
+               NAND flavour (output 0 = inactive), and the same literal
+               pattern works for the AND flavour (output 1 = pass) *)
+            if correct_key.(kbit) then key_ids.(kbit)
+            else N.Builder.add_node b Gate.Not [| key_ids.(kbit) |])
+          group
+      in
+      let ctrl_kind = if use_xnor then Gate.And else Gate.Nand in
+      let ctrl = N.Builder.add_node b ctrl_kind lits in
+      let key_gate_kind = if use_xnor then Gate.Xnor else Gate.Xor in
+      let kg = N.Builder.add_node b key_gate_kind [| map.(i); ctrl |] in
+      map.(i) <- kg
+  done;
+  Array.iter (fun o -> N.Builder.mark_output b map.(o)) (N.outputs nl);
+  {
+    Locked.original = nl;
+    netlist = N.Builder.finish b;
+    num_regular_inputs = N.num_inputs nl;
+    correct_key;
+    technique =
+      Printf.sprintf "weighted(k=%d,w=%d)" p.key_size p.ctrl_inputs;
+  }

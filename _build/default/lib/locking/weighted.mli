@@ -1,0 +1,28 @@
+(** Weighted logic locking (Karousos et al. [26]): groups of [ctrl_inputs]
+    key bits drive NAND/AND control gates (inputs selectively inverted so
+    the inactive value appears exactly on the correct sub-key) feeding
+    XOR/XNOR key gates on high-fault-impact wires.  A random wrong key
+    actuates each key gate with probability 1 - 2^-w. *)
+
+type params = {
+  key_size : int;
+  ctrl_inputs : int;
+  avoid_critical : bool;
+  seed : int;
+}
+
+val default_params : key_size:int -> ctrl_inputs:int -> params
+
+(** Key-bit groups, in order (the last group may be narrower). *)
+val key_groups : key_size:int -> ctrl_inputs:int -> int array list
+
+val num_key_gates : key_size:int -> ctrl_inputs:int -> int
+
+(** Lock a circuit.  Raises [Invalid_argument] if the circuit is too small
+    for the requested number of key gates. *)
+val lock :
+  ?params:params ->
+  Orap_netlist.Netlist.t ->
+  key_size:int ->
+  ctrl_inputs:int ->
+  Locked.t

@@ -1,0 +1,1 @@
+lib/netlist/bench_format.ml: Array Buffer Gate Hashtbl List Netlist Printf String

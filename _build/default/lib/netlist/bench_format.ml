@@ -1,0 +1,193 @@
+(** ISCAS'89 [.bench] reader and writer.
+
+    Sequential elements ([DFF]) are handled the way ATPG tools handle full
+    scan: each flip-flop output becomes a pseudo primary input and each
+    flip-flop data input becomes a pseudo primary output, yielding the
+    combinational core the paper's experiments operate on. *)
+
+type source = {
+  netlist : Netlist.t;
+  primary_input_names : string list;
+  primary_output_names : string list;
+  flip_flops : (string * string) list;
+      (** (state name = DFF output, next-state signal = DFF input) *)
+}
+
+exception Parse_error of int * string
+
+let errorf line fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+type stmt =
+  | S_input of string
+  | S_output of string
+  | S_assign of string * string * string list  (* target, gate, args *)
+
+let strip s = String.trim s
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = strip line in
+  if line = "" then None
+  else
+    let paren =
+      match String.index_opt line '(' with
+      | Some i -> i
+      | None -> errorf lineno "expected '(' in %S" line
+    in
+    let close =
+      match String.rindex_opt line ')' with
+      | Some i when i > paren -> i
+      | Some _ | None -> errorf lineno "expected ')' in %S" line
+    in
+    let head = strip (String.sub line 0 paren) in
+    let args_str = String.sub line (paren + 1) (close - paren - 1) in
+    let args = List.map strip (String.split_on_char ',' args_str) in
+    let args = List.filter (fun s -> s <> "") args in
+    match String.uppercase_ascii head with
+    | "INPUT" -> (
+      match args with
+      | [ a ] -> Some (S_input a)
+      | _ -> errorf lineno "INPUT takes one argument")
+    | "OUTPUT" -> (
+      match args with
+      | [ a ] -> Some (S_output a)
+      | _ -> errorf lineno "OUTPUT takes one argument")
+    | _ -> (
+      match String.index_opt head '=' with
+      | None -> errorf lineno "expected assignment in %S" line
+      | Some eq ->
+        let target = strip (String.sub head 0 eq) in
+        let gate = strip (String.sub head (eq + 1) (paren - eq - 1)) in
+        if target = "" || gate = "" then errorf lineno "bad assignment %S" line;
+        Some (S_assign (target, gate, args)))
+
+(** Parse a whole [.bench] text. *)
+let parse (text : string) : source =
+  let stmts = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_line (i + 1) line with
+      | Some s -> stmts := s :: !stmts
+      | None -> ())
+    (String.split_on_char '\n' text);
+  let stmts = List.rev !stmts in
+  let pis = ref [] and pos = ref [] in
+  let defs : (string, string * string list) Hashtbl.t = Hashtbl.create 97 in
+  let order = ref [] in
+  List.iter
+    (function
+      | S_input a -> pis := a :: !pis
+      | S_output a -> pos := a :: !pos
+      | S_assign (t, g, args) ->
+        if Hashtbl.mem defs t then errorf 0 "signal %S defined twice" t;
+        Hashtbl.replace defs t (g, args);
+        order := t :: !order)
+    stmts;
+  let pis = List.rev !pis and pos = List.rev !pos in
+  let ffs = ref [] in
+  Hashtbl.iter
+    (fun t (g, args) ->
+      match (String.uppercase_ascii g, args) with
+      | "DFF", [ d ] -> ffs := (t, d) :: !ffs
+      | "DFF", _ -> errorf 0 "DFF %S must have one input" t
+      | _ -> ())
+    defs;
+  let ffs = List.sort compare !ffs in
+  let b = Netlist.Builder.create ~size_hint:(Hashtbl.length defs) () in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 97 in
+  (* real PIs first, then FF outputs as pseudo-PIs, in stable order *)
+  List.iter
+    (fun a -> Hashtbl.replace ids a (Netlist.Builder.add_input ~name:a b))
+    pis;
+  List.iter
+    (fun (q, _) -> Hashtbl.replace ids q (Netlist.Builder.add_input ~name:q b))
+    ffs;
+  let rec build name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None -> (
+      match Hashtbl.find_opt defs name with
+      | None -> errorf 0 "undefined signal %S" name
+      | Some (g, args) ->
+        let kind =
+          match Gate.of_string g with
+          | Some k -> k
+          | None -> errorf 0 "unknown gate %S" g
+        in
+        (* mark as in-progress to catch combinational cycles *)
+        Hashtbl.replace ids name (-1);
+        let fan = Array.of_list (List.map build args) in
+        if Array.exists (fun f -> f < 0) fan then
+          errorf 0 "combinational cycle through %S" name;
+        let id = Netlist.Builder.add_node ~name b kind fan in
+        Hashtbl.replace ids name id;
+        id)
+  in
+  let po_ids = List.map build pos in
+  let ff_d_ids = List.map (fun (_, d) -> build d) ffs in
+  List.iter (Netlist.Builder.mark_output b) po_ids;
+  List.iter (Netlist.Builder.mark_output b) ff_d_ids;
+  {
+    netlist = Netlist.Builder.finish b;
+    primary_input_names = pis;
+    primary_output_names = pos;
+    flip_flops = ffs;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+(** Print a purely combinational netlist in [.bench] syntax. *)
+let print (t : Netlist.t) : string =
+  let buf = Buffer.create 4096 in
+  let name i = Netlist.node_name t i in
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (name i)))
+    (Netlist.inputs t);
+  Array.iter
+    (fun o -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (name o)))
+    (Netlist.outputs t);
+  for i = 0 to Netlist.num_nodes t - 1 do
+    match Netlist.kind t i with
+    | Gate.Input -> ()
+    | Gate.Const0 ->
+      (* .bench has no constants: encode as XOR(x, x) over the first input *)
+      Buffer.add_string buf
+        (Printf.sprintf "%s = XOR(%s, %s)\n" (name i)
+           (name (Netlist.inputs t).(0))
+           (name (Netlist.inputs t).(0)))
+    | Gate.Const1 ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = XNOR(%s, %s)\n" (name i)
+           (name (Netlist.inputs t).(0))
+           (name (Netlist.inputs t).(0)))
+    | Gate.Mux ->
+      let f = Netlist.fanins t i in
+      (* sel=0 -> a, sel=1 -> b, expanded to AND/OR/NOT form is not needed:
+         keep a MUX line (accepted by several tools); document the order *)
+      Buffer.add_string buf
+        (Printf.sprintf "%s = MUX(%s, %s, %s)\n" (name i) (name f.(0))
+           (name f.(1)) (name f.(2)))
+    | k ->
+      let f = Netlist.fanins t i in
+      let args =
+        String.concat ", " (Array.to_list (Array.map name f))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" (name i) (Gate.to_string k) args)
+  done;
+  Buffer.contents buf
+
+let print_to_file path t =
+  let oc = open_out path in
+  output_string oc (print t);
+  close_out oc

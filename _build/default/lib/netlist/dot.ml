@@ -1,0 +1,30 @@
+(** Graphviz export, for debugging small netlists. *)
+
+let shape = function
+  | Gate.Input -> "invtriangle"
+  | Gate.Const0 | Gate.Const1 -> "square"
+  | Gate.Buf | Gate.Not -> "circle"
+  | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor
+  | Gate.Mux ->
+    "box"
+
+let of_netlist ?(graph_name = "netlist") (t : Netlist.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" graph_name);
+  for i = 0 to Netlist.num_nodes t - 1 do
+    let k = Netlist.kind t i in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\n%s\" shape=%s];\n" i
+         (Netlist.node_name t i) (Gate.to_string k) (shape k));
+    Array.iter
+      (fun f -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" f i))
+      (Netlist.fanins t i)
+  done;
+  Array.iteri
+    (fun j o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  po%d [label=\"PO%d\" shape=triangle];\n  n%d -> po%d;\n"
+           j j o j))
+    (Netlist.outputs t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

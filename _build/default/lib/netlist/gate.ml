@@ -1,0 +1,100 @@
+(** Gate vocabulary of the netlist IR.
+
+    The set covers the ISCAS'89 [.bench] vocabulary plus multi-input
+    associative gates and a 2-to-1 multiplexer.  [Input] nodes have no fanin;
+    [Const0]/[Const1] are constants; [Buf]/[Not] are single-input;
+    [And]..[Xnor] accept any number >= 1 of fanins; [Mux] has exactly three fanins
+    [sel; a; b] and selects [a] when [sel] = 0, [b] when [sel] = 1. *)
+
+type kind =
+  | Input
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Mux
+
+let to_string = function
+  | Input -> "INPUT"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Mux -> "MUX"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "CONST0" -> Some Const0
+  | "CONST1" -> Some Const1
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" | "INV" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "MUX" -> Some Mux
+  | _ -> None
+
+(** Arity constraint of a gate kind: [`Exactly n] or [`At_least n]. *)
+let arity = function
+  | Input | Const0 | Const1 -> `Exactly 0
+  | Buf | Not -> `Exactly 1
+  | And | Nand | Or | Nor | Xor | Xnor -> `At_least 1
+  | Mux -> `Exactly 3
+
+let arity_ok kind n =
+  match arity kind with
+  | `Exactly m -> n = m
+  | `At_least m -> n >= m
+
+(** [is_inverter_like k] holds for gates that carry no logic (the paper's gate
+    counts exclude inverters and buffers). *)
+let is_inverter_like = function
+  | Buf | Not -> true
+  | Input | Const0 | Const1 | And | Nand | Or | Nor | Xor | Xnor | Mux -> false
+
+(** Boolean evaluation over 64 parallel patterns packed in an [int64]. *)
+let eval_word kind (operands : int64 array) : int64 =
+  let open Int64 in
+  let fold f init =
+    let acc = ref init in
+    for i = 0 to Array.length operands - 1 do
+      acc := f !acc operands.(i)
+    done;
+    !acc
+  in
+  match kind with
+  | Input -> invalid_arg "Gate.eval_word: Input has no evaluation"
+  | Const0 -> 0L
+  | Const1 -> minus_one
+  | Buf -> operands.(0)
+  | Not -> lognot operands.(0)
+  | And -> fold logand minus_one
+  | Nand -> lognot (fold logand minus_one)
+  | Or -> fold logor 0L
+  | Nor -> lognot (fold logor 0L)
+  | Xor -> fold logxor 0L
+  | Xnor -> lognot (fold logxor 0L)
+  | Mux ->
+    let sel = operands.(0) and a = operands.(1) and b = operands.(2) in
+    logor (logand (lognot sel) a) (logand sel b)
+
+(** Single-bit evaluation. *)
+let eval_bool kind (operands : bool array) : bool =
+  let word = Array.map (fun b -> if b then Int64.minus_one else 0L) operands in
+  Int64.logand (eval_word kind word) 1L <> 0L

@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: Array Lit Orap_netlist Solver

@@ -1,0 +1,50 @@
+(** CDCL SAT solver: two-watched-literal propagation, first-UIP learning,
+    VSIDS branching with phase saving, Luby restarts, activity-based learnt
+    clause reduction and assumption-based incremental solving. *)
+
+type result = Sat | Unsat
+
+type t
+
+val create : unit -> t
+
+(** {1 Variables and clauses} *)
+
+(** Allocate a fresh variable (0-based index). *)
+val new_var : t -> int
+
+(** Allocate [n] fresh variables. *)
+val new_vars : t -> int -> int array
+
+(** Add a problem clause (the solver first backtracks to the root).  Returns [false] once the
+    clause set is trivially unsatisfiable; further calls are ignored. *)
+val add_clause : t -> Lit.t list -> bool
+
+(** {1 Solving} *)
+
+(** [solve ?assumptions ?conflict_limit s] decides satisfiability under the
+    given assumption literals.  The solver can be reused: clauses may be
+    added and [solve] called again (backtracking to the root first). *)
+val solve : ?assumptions:Lit.t array -> ?conflict_limit:int -> t -> result
+
+(** Model access, valid after a [Sat] answer and before the next solver
+    operation. *)
+val model_value : t -> int -> bool
+
+val model_lit : t -> Lit.t -> bool
+
+(** Undo all decisions (required before adding clauses after a [Sat]). *)
+val backtrack_to_root : t -> unit
+
+(** {1 Introspection} *)
+
+val num_vars : t -> int
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+
+(** Current assignment of a variable: 1 true, -1 false, 0 unassigned. *)
+val value_var : t -> int -> int
+
+(** Current assignment of a literal under the same encoding. *)
+val value_lit : t -> Lit.t -> int

@@ -1,0 +1,44 @@
+(** Growable int arrays, used pervasively inside the solver to avoid the
+    allocation churn of lists on hot paths. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = Array.make (max 1 capacity) 0; len = 0 }
+let length v = v.len
+let get v i = v.data.(i)
+let set v i x = v.data.(i) <- x
+let clear v = v.len <- 0
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let data = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let last v = v.data.(v.len - 1)
+let shrink v n = v.len <- n
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.len - 1) []
+
+(** Remove the first occurrence of [x] (order not preserved). *)
+let remove v x =
+  let rec find i = if i >= v.len then -1 else if v.data.(i) = x then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    v.data.(i) <- v.data.(v.len - 1);
+    v.len <- v.len - 1
+  end

@@ -1,0 +1,1 @@
+lib/sim/hamming.ml: Array Int64 Orap_netlist Prng Sim

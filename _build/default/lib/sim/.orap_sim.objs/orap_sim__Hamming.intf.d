@@ -1,0 +1,1 @@
+lib/sim/hamming.mli: Orap_netlist

@@ -1,0 +1,1 @@
+lib/synth/abc_script.ml: Aig Balance Orap_netlist Refactor

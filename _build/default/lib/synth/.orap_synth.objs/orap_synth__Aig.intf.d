@@ -1,0 +1,1 @@
+lib/synth/aig.mli: Orap_netlist

@@ -1,0 +1,1 @@
+lib/synth/balance.ml: Aig Array Hashtbl List

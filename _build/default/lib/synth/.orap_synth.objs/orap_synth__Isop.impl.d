@@ -1,0 +1,1 @@
+lib/synth/isop.ml: Aig Array List Truth

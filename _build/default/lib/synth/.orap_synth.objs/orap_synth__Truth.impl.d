@@ -1,0 +1,1 @@
+lib/synth/truth.ml: Array Int64 List Printf String

@@ -1,0 +1,38 @@
+(** The resynthesis pipeline used by the paper's overhead measurements:
+    [strash -> refactor -> rewrite] (ABC command sequence of Xu et al. [12]),
+    followed by a balancing pass for the level metric.
+
+    Area is the live AND-node count (gates without inverters); delay is the
+    AND level of the deepest output. *)
+
+type metrics = { ands : int; levels : int }
+
+let metrics_of_aig aig = { ands = Aig.num_live_ands aig; levels = Aig.depth aig }
+
+(** [optimize netlist] returns the optimised AIG.  [effort] bounds the
+    number of refactor/rewrite rounds. *)
+let optimize ?(effort = 1) (nl : Orap_netlist.Netlist.t) : Aig.t =
+  let aig = ref (Aig.of_netlist nl) in
+  for _ = 1 to effort do
+    (* refactor: large cuts; rewrite: small cuts everywhere *)
+    aig := Refactor.run ~cut_size:10 ~min_cone:3 !aig;
+    aig := Refactor.run ~cut_size:4 ~min_cone:1 !aig
+  done;
+  aig := Balance.run !aig;
+  !aig
+
+(** Optimise and report the paper's two metrics. *)
+let evaluate ?effort (nl : Orap_netlist.Netlist.t) : metrics =
+  metrics_of_aig (optimize ?effort nl)
+
+(** Overhead of [protected] over [original] in percent, after optimising
+    both with the same script — exactly how Table I is computed. *)
+type overhead = { area_pct : float; delay_pct : float }
+
+let overhead ?effort ~original ~protected_ () : overhead =
+  let mo = evaluate ?effort original in
+  let mp = evaluate ?effort protected_ in
+  let pct a b =
+    if a = 0 then 0. else 100. *. float_of_int (b - a) /. float_of_int a
+  in
+  { area_pct = pct mo.ands mp.ands; delay_pct = pct mo.levels mp.levels }

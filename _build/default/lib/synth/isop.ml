@@ -1,0 +1,98 @@
+(** Irredundant sum-of-products via the Minato–Morreale procedure.
+
+    [compute lower upper] returns a cube cover [c] with
+    [lower <= cover c <= upper]; with [lower = upper = f] it yields an
+    irredundant SOP of [f].  Cubes are (positive-literal mask,
+    negative-literal mask) pairs over the truth-table variables. *)
+
+type cube = { pos : int; neg : int }
+
+let cube_literals c =
+  let rec pc x = if x = 0 then 0 else (x land 1) + pc (x lsr 1) in
+  pc c.pos + pc c.neg
+
+let cube_truth nvars c =
+  let t = ref (Truth.ones nvars) in
+  for i = 0 to nvars - 1 do
+    if (c.pos lsr i) land 1 = 1 then t := Truth.logand !t (Truth.var nvars i);
+    if (c.neg lsr i) land 1 = 1 then
+      t := Truth.logand !t (Truth.lognot (Truth.var nvars i))
+  done;
+  !t
+
+let cover_truth nvars cubes =
+  List.fold_left
+    (fun acc c -> Truth.logor acc (cube_truth nvars c))
+    (Truth.zero nvars) cubes
+
+(** Core recursion.  Returns (cubes, truth table of the cover). *)
+let rec isop lower upper var_index =
+  let nvars = lower.Truth.nvars in
+  if Truth.is_zero lower then ([], Truth.zero nvars)
+  else if Truth.is_ones lower then ([ { pos = 0; neg = 0 } ], Truth.ones nvars)
+  else begin
+    (* find a variable on which lower or upper depends *)
+    let rec find i =
+      if i < 0 then -1
+      else if Truth.depends_on lower i || Truth.depends_on upper i then i
+      else find (i - 1)
+    in
+    let x = find (var_index - 1) in
+    if x < 0 then
+      (* both constant; lower <= upper and lower <> 0 => lower = ones *)
+      ([ { pos = 0; neg = 0 } ], Truth.ones nvars)
+    else begin
+      let l0 = Truth.cofactor0 lower x and l1 = Truth.cofactor1 lower x in
+      let u0 = Truth.cofactor0 upper x and u1 = Truth.cofactor1 upper x in
+      (* cubes that must appear in the x=0 half only *)
+      let c0, cov0 = isop (Truth.logand l0 (Truth.lognot u1)) u0 x in
+      let c1, cov1 = isop (Truth.logand l1 (Truth.lognot u0)) u1 x in
+      let l0' = Truth.logand l0 (Truth.lognot cov0) in
+      let l1' = Truth.logand l1 (Truth.lognot cov1) in
+      let lnew = Truth.logor l0' l1' in
+      let c2, cov2 = isop lnew (Truth.logand u0 u1) x in
+      let bit = 1 lsl x in
+      let cubes =
+        List.map (fun c -> { c with neg = c.neg lor bit }) c0
+        @ List.map (fun c -> { c with pos = c.pos lor bit }) c1
+        @ c2
+      in
+      let xv = Truth.var nvars x in
+      let cover =
+        Truth.logor
+          (Truth.logor
+             (Truth.logand (Truth.lognot xv) cov0)
+             (Truth.logand xv cov1))
+          cov2
+      in
+      (cubes, cover)
+    end
+  end
+
+(** SOP of [f] (irredundant w.r.t. cube containment). *)
+let compute (f : Truth.t) : cube list =
+  let cubes, cover = isop f f f.Truth.nvars in
+  assert (Truth.equal cover f);
+  cubes
+
+(** Structural cost of a cover when built as a 2-input AND/OR network:
+    [sum (lits_i - 1)] AND nodes per cube plus [cubes - 1] OR nodes. *)
+let cost cubes =
+  match cubes with
+  | [] -> 0
+  | _ ->
+    List.fold_left (fun acc c -> acc + max 0 (cube_literals c - 1)) 0 cubes
+    + (List.length cubes - 1)
+
+(** Build the cover inside an AIG over the given leaf literals. *)
+let to_aig (aig : Aig.t) (leaves : int array) cubes : int =
+  let cube_lit c =
+    let lits = ref [] in
+    Array.iteri
+      (fun i l ->
+        if (c.pos lsr i) land 1 = 1 then lits := l :: !lits;
+        if (c.neg lsr i) land 1 = 1 then lits := Aig.compl_lit l :: !lits)
+      leaves;
+    Aig.and_list aig !lits
+  in
+  Aig.or_list aig (List.map cube_lit cubes)

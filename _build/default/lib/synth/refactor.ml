@@ -1,0 +1,159 @@
+(** Cut-based AIG refactoring (the ABC [refactor]/[rewrite] family).
+
+    For every live AND node, a reconvergence-driven cut of at most [cut_size]
+    leaves is grown, the cone's truth table is computed, and an ISOP rebuild
+    is costed against the cone's maximum fanout-free region.  Beneficial
+    replacements are recorded and a fresh structurally hashed AIG is rebuilt
+    from the outputs, realising the gains (plus any sharing strash finds). *)
+
+type replacement = { leaves : int array (* node ids *); cubes : Isop.cube list }
+
+let grow_cut (aig : Aig.t) root ~cut_size =
+  (* leaves are node ids; expansion replaces an AND leaf by its fanins *)
+  let leaves = ref [] in
+  let add n = if not (List.mem n !leaves) then leaves := n :: !leaves in
+  add (Aig.node_of_lit (Aig.fanin0 aig root));
+  add (Aig.node_of_lit (Aig.fanin1 aig root));
+  let expansions = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !expansions < 200 do
+    (* candidate leaf: an AND node whose expansion keeps the leaf budget;
+       prefer the one adding the fewest new leaves (reconvergence first) *)
+    let best = ref None in
+    List.iter
+      (fun l ->
+        if Aig.is_and aig l then begin
+          let f0 = Aig.node_of_lit (Aig.fanin0 aig l) in
+          let f1 = Aig.node_of_lit (Aig.fanin1 aig l) in
+          let added =
+            (if List.mem f0 !leaves then 0 else 1)
+            + if List.mem f1 !leaves || f1 = f0 then 0 else 1
+          in
+          let new_count = List.length !leaves - 1 + added in
+          if new_count <= cut_size then
+            match !best with
+            | Some (_, a) when a <= added -> ()
+            | _ -> best := Some (l, added)
+        end)
+      !leaves;
+    match !best with
+    | None -> continue_ := false
+    | Some (l, _) ->
+      incr expansions;
+      leaves := List.filter (fun x -> x <> l) !leaves;
+      add (Aig.node_of_lit (Aig.fanin0 aig l));
+      add (Aig.node_of_lit (Aig.fanin1 aig l))
+  done;
+  Array.of_list (List.rev !leaves)
+
+(* AND nodes strictly inside the cone (root included, leaves excluded) *)
+let cone_nodes (aig : Aig.t) root leaves =
+  let leaf n = Array.exists (( = ) n) leaves in
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  let rec visit n =
+    if (not (Hashtbl.mem seen n)) && (not (leaf n)) && Aig.is_and aig n then begin
+      Hashtbl.replace seen n ();
+      acc := n :: !acc;
+      visit (Aig.node_of_lit (Aig.fanin0 aig n));
+      visit (Aig.node_of_lit (Aig.fanin1 aig n))
+    end
+  in
+  visit root;
+  !acc
+
+let cone_truth (aig : Aig.t) root leaves =
+  let nvars = Array.length leaves in
+  let memo = Hashtbl.create 32 in
+  Array.iteri (fun i l -> Hashtbl.replace memo l (Truth.var nvars i)) leaves;
+  let rec eval n =
+    match Hashtbl.find_opt memo n with
+    | Some t -> t
+    | None ->
+      if Aig.is_const n then Truth.zero nvars
+      else begin
+        let lit_truth l =
+          let t = eval (Aig.node_of_lit l) in
+          if Aig.is_compl l then Truth.lognot t else t
+        in
+        let t =
+          Truth.logand (lit_truth (Aig.fanin0 aig n)) (lit_truth (Aig.fanin1 aig n))
+        in
+        Hashtbl.replace memo n t;
+        t
+      end
+  in
+  eval root
+
+(* nodes of the cone freed if the root is re-expressed over the leaves:
+   ref-count decrement simulation confined to the cone *)
+let freed_nodes (aig : Aig.t) refs root cone =
+  let in_cone n = List.mem n cone in
+  let local = Hashtbl.create 16 in
+  let get n = match Hashtbl.find_opt local n with Some v -> v | None -> refs.(n) in
+  let set n v = Hashtbl.replace local n v in
+  let count = ref 0 in
+  let rec deref n =
+    incr count;
+    List.iter
+      (fun l ->
+        let c = Aig.node_of_lit l in
+        if Aig.is_and aig c && in_cone c then begin
+          let v = get c - 1 in
+          set c v;
+          if v = 0 then deref c
+        end)
+      [ Aig.fanin0 aig n; Aig.fanin1 aig n ]
+  in
+  deref root;
+  !count
+
+(** One refactoring pass.  Returns the rebuilt AIG. *)
+let run ?(cut_size = 10) ?(min_cone = 2) (aig : Aig.t) : Aig.t =
+  let refs = Aig.ref_counts aig in
+  let replacements : (int, replacement) Hashtbl.t = Hashtbl.create 64 in
+  for root = Aig.num_pis aig + 1 to Aig.num_nodes aig - 1 do
+    if refs.(root) > 0 then begin
+      let leaves = grow_cut aig root ~cut_size in
+      if Array.length leaves >= 2 && Array.length leaves <= cut_size then begin
+        let cone = cone_nodes aig root leaves in
+        if List.length cone >= min_cone then begin
+          let truth = cone_truth aig root leaves in
+          let cubes = Isop.compute truth in
+          let cost = Isop.cost cubes in
+          let saved = freed_nodes aig refs root cone in
+          if cost < saved then
+            Hashtbl.replace replacements root { leaves; cubes }
+        end
+      end
+    end
+  done;
+  (* rebuild demand-driven from the outputs *)
+  let fresh = Aig.create ~num_pis:(Aig.num_pis aig) in
+  let memo = Array.make (Aig.num_nodes aig) (-1) in
+  let rec lit_image l =
+    let n = Aig.node_of_lit l in
+    let plain = node_image n in
+    if Aig.is_compl l then Aig.compl_lit plain else plain
+  and node_image n =
+    if memo.(n) >= 0 then memo.(n)
+    else begin
+      let lit =
+        if Aig.is_const n then Aig.false_lit
+        else if Aig.is_pi aig n then Aig.pi_lit fresh (n - 1)
+        else
+          match Hashtbl.find_opt replacements n with
+          | Some { leaves; cubes } ->
+            let leaf_lits = Array.map (fun l -> node_image l) leaves in
+            Isop.to_aig fresh leaf_lits cubes
+          | None ->
+            Aig.and_lit fresh
+              (lit_image (Aig.fanin0 aig n))
+              (lit_image (Aig.fanin1 aig n))
+      in
+      memo.(n) <- lit;
+      lit
+    end
+  in
+  Aig.set_outputs fresh (Array.map lit_image (Aig.outputs aig));
+  fresh

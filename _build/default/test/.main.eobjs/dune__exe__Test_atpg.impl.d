@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Int64 Orap_atpg Orap_faultsim Orap_netlist Orap_sim Util

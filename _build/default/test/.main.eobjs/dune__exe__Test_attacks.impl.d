@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array List Orap_attacks Orap_core Orap_locking Orap_netlist Orap_sim String Util

@@ -1,0 +1,1 @@
+test/test_attacks2.ml: Alcotest Array List Orap_attacks Orap_core Orap_experiments Orap_locking Orap_netlist Orap_sim Orap_synth Util

@@ -1,0 +1,1 @@
+test/test_bypass_s27.ml: Alcotest Array List Orap_atpg Orap_attacks Orap_core Orap_locking Orap_netlist Util

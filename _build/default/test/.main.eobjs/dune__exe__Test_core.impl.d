@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Orap_core Orap_dft Orap_locking Orap_netlist Orap_sim Util

@@ -1,0 +1,1 @@
+test/test_dft.ml: Alcotest Array List Orap_dft Util

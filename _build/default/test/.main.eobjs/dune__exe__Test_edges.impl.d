@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array List Orap_core Orap_faultsim Orap_locking Orap_netlist Orap_sat Orap_sim Orap_synth QCheck Util

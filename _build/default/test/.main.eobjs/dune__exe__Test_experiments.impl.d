@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Orap_benchgen Orap_core Orap_experiments String Util

@@ -1,0 +1,1 @@
+test/test_faultsim.ml: Alcotest Array Int64 List Orap_faultsim Orap_netlist Orap_sim Util

@@ -1,0 +1,1 @@
+test/test_lfsr.ml: Alcotest Array Hashtbl List Orap_lfsr Orap_sim QCheck Util

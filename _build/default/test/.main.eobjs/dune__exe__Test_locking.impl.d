@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Array Orap_locking Orap_netlist Orap_sim Util

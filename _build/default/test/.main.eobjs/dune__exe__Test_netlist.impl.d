@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Int64 List Orap_netlist Orap_sim String Util

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Format List Orap_netlist Orap_sat Orap_sim Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int64 Orap_netlist Orap_sim QCheck Util

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array List Orap_netlist Orap_sim Orap_synth QCheck Util

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array List Orap_atpg Orap_faultsim Orap_netlist String Util

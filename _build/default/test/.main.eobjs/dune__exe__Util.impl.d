@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Orap_benchgen Orap_netlist Orap_sim QCheck QCheck_alcotest

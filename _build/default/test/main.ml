@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "orap"
+    [
+      Test_netlist.suite;
+      Test_sim.suite;
+      Test_sat.suite;
+      Test_synth.suite;
+      Test_faultsim.suite;
+      Test_atpg.suite;
+      Test_lfsr.suite;
+      Test_dft.suite;
+      Test_locking.suite;
+      Test_core.suite;
+      Test_attacks.suite;
+      Test_experiments.suite;
+      Test_edges.suite;
+      Test_attacks2.suite;
+      Test_tools.suite;
+      Test_bypass_s27.suite;
+    ]

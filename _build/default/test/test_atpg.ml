@@ -1,0 +1,208 @@
+open Util
+module N = Orap_netlist.Netlist
+module Gate = Orap_netlist.Gate
+module Five = Orap_atpg.Five
+module Scoap = Orap_atpg.Scoap
+module Podem = Orap_atpg.Podem
+module Atpg = Orap_atpg.Atpg
+module Fault = Orap_faultsim.Fault
+module Sim = Orap_sim.Sim
+
+(* --- five-valued algebra --- *)
+
+let test_five_and_table () =
+  let open Five in
+  check Alcotest.bool "D & 1 = D" true (v_and D T = D);
+  check Alcotest.bool "D & 0 = 0" true (v_and D F = F);
+  check Alcotest.bool "D & D' = 0" true (v_and D Db = F);
+  check Alcotest.bool "D & D = D" true (v_and D D = D);
+  check Alcotest.bool "D & X = X" true (v_and D X = X);
+  check Alcotest.bool "0 & X = 0" true (v_and F X = F)
+
+let test_five_or_xor_not () =
+  let open Five in
+  check Alcotest.bool "D | D' = 1" true (v_or D Db = T);
+  check Alcotest.bool "D | 0 = D" true (v_or D F = D);
+  check Alcotest.bool "1 | X = 1" true (v_or T X = T);
+  check Alcotest.bool "D ^ 1 = D'" true (v_xor D T = Db);
+  check Alcotest.bool "D ^ D = 0" true (v_xor D D = F);
+  check Alcotest.bool "~D = D'" true (v_not D = Db);
+  check Alcotest.bool "~X = X" true (v_not X = X)
+
+let test_five_faulted () =
+  let open Five in
+  check Alcotest.bool "good 1, sa0 -> D" true (faulted T ~stuck:false = D);
+  check Alcotest.bool "good 0, sa1 -> D'" true (faulted F ~stuck:true = Db);
+  check Alcotest.bool "good 0, sa0 -> 0" true (faulted F ~stuck:false = F);
+  check Alcotest.bool "good X -> X" true (faulted X ~stuck:false = X)
+
+let test_five_gate_eval () =
+  let open Five in
+  check Alcotest.bool "mux sel D" true
+    (eval_gate Gate.Mux [| D; F; T |] = D);
+  check Alcotest.bool "nand D 1" true (eval_gate Gate.Nand [| D; T |] = Db);
+  check Alcotest.bool "xor3" true (eval_gate Gate.Xor [| T; T; D |] = D)
+
+(* --- SCOAP --- *)
+
+let test_scoap_basics () =
+  let b = N.Builder.create () in
+  let a = N.Builder.add_input b in
+  let c = N.Builder.add_input b in
+  let g = N.Builder.add_node b Gate.And [| a; c |] in
+  N.Builder.mark_output b g;
+  let nl = N.Builder.finish b in
+  let s = Scoap.compute nl in
+  check Alcotest.int "PI cc0" 1 s.Scoap.cc0.(a);
+  check Alcotest.int "AND cc1 = sum + 1" 3 s.Scoap.cc1.(g);
+  check Alcotest.int "AND cc0 = min + 1" 2 s.Scoap.cc0.(g);
+  check Alcotest.int "output distance" 0 s.Scoap.dist_po.(g);
+  check Alcotest.int "input distance" 1 s.Scoap.dist_po.(a)
+
+(* --- PODEM vs brute force --- *)
+
+let brute_detectable nl fault =
+  let ni = N.num_inputs nl in
+  let eval_with_fault inp =
+    let n = N.num_nodes nl in
+    let values = Array.make n false in
+    let pos = ref 0 in
+    for i = 0 to n - 1 do
+      let v =
+        match N.kind nl i with
+        | Gate.Input ->
+          let v = inp.(!pos) in
+          incr pos;
+          v
+        | k ->
+          let fan = N.fanins nl i in
+          let ops =
+            Array.mapi
+              (fun p f ->
+                match fault.Fault.site with
+                | Fault.Input (fn, fp) when fn = i && fp = p ->
+                  fault.Fault.stuck
+                | Fault.Input _ | Fault.Output _ -> values.(f))
+              fan
+          in
+          Gate.eval_bool k ops
+      in
+      let v =
+        match fault.Fault.site with
+        | Fault.Output fn when fn = i -> fault.Fault.stuck
+        | Fault.Output _ | Fault.Input _ -> v
+      in
+      values.(i) <- v
+    done;
+    Array.map (fun o -> values.(o)) (N.outputs nl)
+  in
+  let found = ref false in
+  for m = 0 to (1 lsl ni) - 1 do
+    if not !found then begin
+      let inp = Array.init ni (fun i -> (m lsr i) land 1 = 1) in
+      if eval_with_fault inp <> Sim.eval_bools nl inp then found := true
+    end
+  done;
+  !found
+
+let prop_podem_complete_and_sound =
+  qtest ~count:12 "PODEM agrees with brute-force detectability" seed_gen
+    (fun seed ->
+      let nl = random_netlist ~inputs:9 ~outputs:5 ~gates:60 seed in
+      let faults = Fault.collapsed_list nl in
+      let engine = Podem.create nl in
+      let ok = ref true in
+      Array.iteri
+        (fun i fault ->
+          if i mod 4 = 0 then begin
+            let brute = brute_detectable nl fault in
+            match Podem.run engine fault ~backtrack_limit:2000 with
+            | Podem.Test _ -> if not brute then ok := false
+            | Podem.Redundant -> if brute then ok := false
+            | Podem.Aborted -> () (* inconclusive is acceptable *)
+          end)
+        faults;
+      !ok)
+
+let prop_podem_tests_detect =
+  qtest ~count:12 "PODEM tests actually detect their faults" seed_gen
+    (fun seed ->
+      let nl = random_netlist ~inputs:9 ~outputs:5 ~gates:60 seed in
+      let faults = Fault.collapsed_list nl in
+      let engine = Podem.create nl in
+      let fsim = Orap_faultsim.Fsim.create nl in
+      let ok = ref true in
+      Array.iteri
+        (fun i fault ->
+          if i mod 5 = 0 then begin
+            match Podem.run engine fault ~backtrack_limit:2000 with
+            | Podem.Test assignment ->
+              (* fill X with 0 and confirm detection by fault simulation *)
+              let pattern =
+                Array.map (function Some b -> b | None -> false) assignment
+              in
+              let good =
+                Sim.eval_word nl ~input_word:(fun i ->
+                    if pattern.(i) then Int64.minus_one else 0L)
+              in
+              if
+                Int64.logand (Orap_faultsim.Fsim.detect_word fsim good fault) 1L
+                = 0L
+              then ok := false
+            | Podem.Redundant | Podem.Aborted -> ()
+          end)
+        faults;
+      !ok)
+
+let test_podem_redundant_circuit () =
+  (* y = a & ~a = 0: the AND output s-a-0 is undetectable *)
+  let b = N.Builder.create () in
+  let a = N.Builder.add_input b in
+  let c = N.Builder.add_input b in
+  let na = N.Builder.add_node b Gate.Not [| a |] in
+  let g = N.Builder.add_node b Gate.And [| a; na |] in
+  let o = N.Builder.add_node b Gate.Or [| g; c |] in
+  N.Builder.mark_output b o;
+  let nl = N.Builder.finish b in
+  let engine = Podem.create nl in
+  (match Podem.run engine { Fault.site = Fault.Output g; stuck = false }
+           ~backtrack_limit:100 with
+  | Podem.Redundant -> ()
+  | Podem.Test _ -> Alcotest.fail "constant-0 node s-a-0 cannot be testable"
+  | Podem.Aborted -> Alcotest.fail "trivial redundancy must not abort");
+  (* while s-a-1 on it is testable *)
+  match Podem.run engine { Fault.site = Fault.Output g; stuck = true }
+          ~backtrack_limit:100 with
+  | Podem.Test _ -> ()
+  | Podem.Redundant | Podem.Aborted -> Alcotest.fail "s-a-1 is testable"
+
+let test_atpg_driver_accounting () =
+  let nl = random_netlist ~inputs:12 ~outputs:8 ~gates:150 5 in
+  let r = Atpg.run ~random_words:4 ~backtrack_limit:100 nl in
+  check Alcotest.int "accounting" r.Atpg.total_faults
+    (r.Atpg.detected + r.Atpg.redundant + r.Atpg.aborted);
+  check Alcotest.bool "coverage sane" true
+    (Atpg.coverage r > 50.0 && Atpg.coverage r <= 100.0);
+  check Alcotest.bool "random phase found most" true
+    (r.Atpg.random_detected * 2 > r.Atpg.total_faults)
+
+let test_atpg_deterministic () =
+  let nl = random_netlist ~inputs:10 ~outputs:6 ~gates:90 6 in
+  let r1 = Atpg.run ~seed:9 nl and r2 = Atpg.run ~seed:9 nl in
+  check Alcotest.int "same detected" r1.Atpg.detected r2.Atpg.detected;
+  check Alcotest.int "same aborted" r1.Atpg.aborted r2.Atpg.aborted
+
+let suite =
+  ( "atpg",
+    [
+      tc "five-valued AND" `Quick test_five_and_table;
+      tc "five-valued OR/XOR/NOT" `Quick test_five_or_xor_not;
+      tc "fault-site transform" `Quick test_five_faulted;
+      tc "five-valued gate eval" `Quick test_five_gate_eval;
+      tc "SCOAP measures" `Quick test_scoap_basics;
+      prop_podem_complete_and_sound;
+      prop_podem_tests_detect;
+      tc "redundant fault identified" `Quick test_podem_redundant_circuit;
+      tc "ATPG driver accounting" `Quick test_atpg_driver_accounting;
+      tc "ATPG determinism" `Quick test_atpg_deterministic;
+    ] )

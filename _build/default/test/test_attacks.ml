@@ -1,0 +1,165 @@
+open Util
+module N = Orap_netlist.Netlist
+module Locked = Orap_locking.Locked
+module Orap = Orap_core.Orap
+module Chip = Orap_core.Chip
+module Oracle = Orap_core.Oracle
+module Sat_attack = Orap_attacks.Sat_attack
+module Appsat = Orap_attacks.Appsat
+module Double_dip = Orap_attacks.Double_dip
+module Hill_climb = Orap_attacks.Hill_climb
+module Key_sensitization = Orap_attacks.Key_sensitization
+module Evaluate = Orap_attacks.Evaluate
+
+let base = random_netlist ~inputs:20 ~outputs:14 ~gates:180 91
+
+let orap_oracle lk =
+  let design =
+    Orap.protect
+      ~config:{ (Orap.default_config ~kind:Orap.Basic ~num_ffs:7 ()) with Orap.seed = 4 }
+      lk
+  in
+  let chip = Chip.create design in
+  Chip.unlock chip;
+  Oracle.scan_chip chip
+
+let test_sat_beats_random_ll () =
+  let lk = Orap_locking.Random_ll.lock base ~key_size:14 in
+  let r = Sat_attack.run lk (Oracle.functional lk) in
+  let v = Evaluate.of_key lk r.Sat_attack.key in
+  check Alcotest.bool "equivalent key" true v.Evaluate.equivalent;
+  check Alcotest.bool "proved" true r.Sat_attack.proved;
+  check Alcotest.bool "few DIPs" true (r.Sat_attack.iterations < 40)
+
+let test_sat_beats_weighted () =
+  let lk = Orap_locking.Weighted.lock base ~key_size:15 ~ctrl_inputs:3 in
+  let r = Sat_attack.run lk (Oracle.functional lk) in
+  let v = Evaluate.of_key lk r.Sat_attack.key in
+  check Alcotest.bool "equivalent key" true v.Evaluate.equivalent
+
+let test_sat_fails_behind_orap () =
+  let lk = Orap_locking.Weighted.lock base ~key_size:15 ~ctrl_inputs:3 in
+  let r = Sat_attack.run lk (orap_oracle lk) in
+  let v = Evaluate.of_key lk r.Sat_attack.key in
+  check Alcotest.bool "no functional key" false v.Evaluate.equivalent
+
+let test_sat_query_accounting () =
+  let lk = Orap_locking.Random_ll.lock base ~key_size:10 in
+  let oracle = Oracle.functional lk in
+  let r = Sat_attack.run lk oracle in
+  check Alcotest.int "one query per DIP" r.Sat_attack.iterations r.Sat_attack.queries
+
+let test_sat_iteration_cap () =
+  let lk = Orap_locking.Sarlock.lock base ~key_size:14 in
+  let r = Sat_attack.run ~max_iterations:20 lk (Oracle.functional lk) in
+  check Alcotest.bool "cap hit" true (r.Sat_attack.key = None);
+  check Alcotest.int "stopped at cap" 20 r.Sat_attack.iterations
+
+let test_sarlock_one_key_per_dip () =
+  (* SARLock's whole point: the SAT attack cannot finish in << 2^k DIPs *)
+  let lk = Orap_locking.Sarlock.lock base ~key_size:8 in
+  let r = Sat_attack.run ~max_iterations:1000 lk (Oracle.functional lk) in
+  check Alcotest.bool "needs nearly 2^8 DIPs" true (r.Sat_attack.iterations > 100);
+  let v = Evaluate.of_key lk r.Sat_attack.key in
+  check Alcotest.bool "eventually equivalent" true v.Evaluate.equivalent
+
+let test_appsat_approximates_sarlock () =
+  (* AppSAT settles early with an approximate (low-error) key *)
+  let lk = Orap_locking.Sarlock.lock base ~key_size:14 in
+  let r =
+    Appsat.run ~max_iterations:64 ~probe_every:4 ~error_threshold:0.05 lk
+      (Oracle.functional lk)
+  in
+  (match r.Appsat.key with
+  | None -> Alcotest.fail "AppSAT should settle on an approximate key"
+  | Some key ->
+    let hd = Locked.hamming_vs_original lk key in
+    check Alcotest.bool "low-error key" true (hd < 5.0));
+  check Alcotest.bool "settled before cap" true (r.Appsat.iterations < 64)
+
+let test_appsat_exact_on_weak_locking () =
+  let lk = Orap_locking.Random_ll.lock base ~key_size:12 in
+  let r = Appsat.run lk (Oracle.functional lk) in
+  let v = Evaluate.of_key lk r.Appsat.key in
+  check Alcotest.bool "equivalent" true v.Evaluate.equivalent
+
+let test_double_dip () =
+  let lk = Orap_locking.Weighted.lock base ~key_size:12 ~ctrl_inputs:3 in
+  let r = Double_dip.run lk (Oracle.functional lk) in
+  let v = Evaluate.of_key lk r.Double_dip.key in
+  check Alcotest.bool "equivalent" true v.Evaluate.equivalent;
+  (* and fails behind OraP *)
+  let r2 = Double_dip.run lk (orap_oracle lk) in
+  let v2 = Evaluate.of_key lk r2.Double_dip.key in
+  check Alcotest.bool "fails behind OraP" false v2.Evaluate.equivalent
+
+let test_hill_climb_recovers_small_random_key () =
+  (* independent key bits: greedy descent works *)
+  let lk = Orap_locking.Random_ll.lock base ~key_size:8 in
+  let r = Hill_climb.run ~sample:64 ~restarts:5 lk (Oracle.functional lk) in
+  let v = Evaluate.of_key lk (Some r.Hill_climb.key) in
+  check Alcotest.bool "recovered" true v.Evaluate.equivalent;
+  check Alcotest.int "zero residual mismatches" 0 r.Hill_climb.mismatches
+
+let test_hill_climb_fails_behind_orap () =
+  let lk = Orap_locking.Random_ll.lock base ~key_size:8 in
+  let r = Hill_climb.run ~sample:64 ~restarts:5 lk (orap_oracle lk) in
+  let v = Evaluate.of_key lk (Some r.Hill_climb.key) in
+  check Alcotest.bool "not equivalent" false v.Evaluate.equivalent
+
+let test_hill_climb_on_responses () =
+  let lk = Orap_locking.Random_ll.lock base ~key_size:8 in
+  (* unlocked responses recover; locked responses do not *)
+  let rng = Orap_sim.Prng.create 3 in
+  let good =
+    List.init 64 (fun _ ->
+        let x = Orap_sim.Prng.bool_array rng lk.Locked.num_regular_inputs in
+        (x, Locked.eval lk ~key:lk.Locked.correct_key ~inputs:x))
+  in
+  let r = Hill_climb.run_on_responses ~restarts:5 lk good in
+  check Alcotest.bool "recovers from unlocked responses" true
+    (Evaluate.of_key lk (Some r.Hill_climb.key)).Evaluate.equivalent;
+  let zero_key = Array.make 8 false in
+  let locked_pairs =
+    List.map (fun (x, _) -> (x, Locked.eval lk ~key:zero_key ~inputs:x)) good
+  in
+  let r2 = Hill_climb.run_on_responses ~restarts:5 lk locked_pairs in
+  (* converges to the zero key's behaviour, not to the secret *)
+  check Alcotest.bool "locked responses mislead" false
+    (Evaluate.of_key lk (Some r2.Hill_climb.key)).Evaluate.equivalent
+
+let test_key_sensitization_counts () =
+  let lk = Orap_locking.Random_ll.lock base ~key_size:8 in
+  let r = Key_sensitization.run lk (Oracle.functional lk) in
+  check Alcotest.bool "most bits sensitizable" true
+    (r.Key_sensitization.sensitized_bits >= 6);
+  check Alcotest.int "one query per sensitized bit"
+    r.Key_sensitization.sensitized_bits r.Key_sensitization.queries
+
+let test_evaluate_verdicts () =
+  let lk = Orap_locking.Random_ll.lock base ~key_size:8 in
+  let v = Evaluate.of_key lk (Some lk.Locked.correct_key) in
+  check Alcotest.bool "exact" true (v.Evaluate.exact && v.Evaluate.equivalent);
+  let v2 = Evaluate.of_key lk None in
+  check Alcotest.bool "none" false v2.Evaluate.recovered;
+  check Alcotest.bool "string form" true
+    (String.length (Evaluate.to_string v) > 0)
+
+let suite =
+  ( "attacks",
+    [
+      tc "SAT beats random locking" `Quick test_sat_beats_random_ll;
+      tc "SAT beats weighted locking" `Quick test_sat_beats_weighted;
+      tc "SAT fails behind OraP" `Quick test_sat_fails_behind_orap;
+      tc "SAT query accounting" `Quick test_sat_query_accounting;
+      tc "SAT iteration cap" `Quick test_sat_iteration_cap;
+      tc "SARLock resists (slowly falls)" `Slow test_sarlock_one_key_per_dip;
+      tc "AppSAT approximates SARLock" `Quick test_appsat_approximates_sarlock;
+      tc "AppSAT exact on weak locking" `Quick test_appsat_exact_on_weak_locking;
+      tc "Double DIP" `Quick test_double_dip;
+      tc "hill climbing recovers small keys" `Quick test_hill_climb_recovers_small_random_key;
+      tc "hill climbing fails behind OraP" `Quick test_hill_climb_fails_behind_orap;
+      tc "hill climbing on test responses" `Quick test_hill_climb_on_responses;
+      tc "key sensitization" `Quick test_key_sensitization_counts;
+      tc "verdict evaluation" `Quick test_evaluate_verdicts;
+    ] )

@@ -1,0 +1,218 @@
+open Util
+module N = Orap_netlist.Netlist
+module Locked = Orap_locking.Locked
+module Weighted = Orap_locking.Weighted
+module Orap = Orap_core.Orap
+module Chip = Orap_core.Chip
+module Oracle = Orap_core.Oracle
+module Threat = Orap_core.Threat
+module Scan = Orap_dft.Scan
+module Prng = Orap_sim.Prng
+
+let fixture kind =
+  let nl = random_netlist ~inputs:40 ~outputs:30 ~gates:320 77 in
+  let lk = Weighted.lock nl ~key_size:24 ~ctrl_inputs:3 in
+  let design =
+    Orap.protect
+      ~config:{ (Orap.default_config ~kind ~num_ffs:14 ()) with Orap.seed = 5 }
+      lk
+  in
+  (lk, design)
+
+let test_unlock_basic () =
+  let lk, design = fixture Orap.Basic in
+  let chip = Chip.create design in
+  check Alcotest.bool "not unlocked initially" false (Chip.is_unlocked chip);
+  Chip.unlock chip;
+  check Alcotest.bool "unlocked" true (Chip.is_unlocked chip);
+  check Alcotest.bool "correct key" true
+    (Chip.key_register chip = lk.Locked.correct_key)
+
+let test_unlock_modified () =
+  let lk, design = fixture Orap.Modified in
+  let chip = Chip.create design in
+  Chip.unlock chip;
+  check Alcotest.bool "correct key" true
+    (Chip.key_register chip = lk.Locked.correct_key)
+
+let test_scan_enable_clears_key () =
+  let lk, design = fixture Orap.Basic in
+  let chip = Chip.create design in
+  Chip.unlock chip;
+  check Alcotest.bool "key loaded" true
+    (Chip.key_register chip = lk.Locked.correct_key);
+  Chip.set_scan_enable chip true;
+  check Alcotest.bool "key cleared" true
+    (Array.for_all not (Chip.key_register chip));
+  (* falling edge does not re-fire; key remains whatever is shifted *)
+  Chip.set_scan_enable chip false;
+  check Alcotest.bool "still cleared" true
+    (Array.for_all not (Chip.key_register chip))
+
+let test_functional_cycle_matches_locked_eval () =
+  let lk, design = fixture Orap.Basic in
+  let chip = Chip.create design in
+  Chip.unlock chip;
+  let rng = Prng.create 31 in
+  for _ = 1 to 10 do
+    let ext = Prng.bool_array rng (Orap.num_ext_inputs design) in
+    let ffs_before = Chip.ff_state chip in
+    let ext_outs = Chip.functional_cycle chip ~ext_inputs:ext in
+    let full =
+      Locked.eval lk ~key:lk.Locked.correct_key
+        ~inputs:(Array.append ext ffs_before)
+    in
+    let expect_ext, expect_ffs = Orap.split_outputs design full in
+    check Alcotest.bool "external outputs" true (ext_outs = expect_ext);
+    check Alcotest.bool "next state" true (Chip.ff_state chip = expect_ffs)
+  done
+
+let test_scan_roundtrip_state () =
+  let _, design = fixture Orap.Basic in
+  let chip = Chip.create design in
+  let rng = Prng.create 9 in
+  let state = Prng.bool_array rng (Orap.num_ffs design) in
+  let ext = Prng.bool_array rng (Orap.num_ext_inputs design) in
+  let _, captured = Chip.scan_test chip ~state ~ext_inputs:ext in
+  (* the captured state is the locked circuit's next-state under key 0 *)
+  let key0 = Array.make (Orap.key_size design) false in
+  let full =
+    Locked.eval design.Orap.locked ~key:key0 ~inputs:(Array.append ext state)
+  in
+  let _, expect = Orap.split_outputs design full in
+  check Alcotest.bool "locked capture" true (captured = expect)
+
+let test_scan_oracle_locked_responses () =
+  let lk, design = fixture Orap.Basic in
+  let chip = Chip.create design in
+  Chip.unlock chip;
+  let oracle = Oracle.scan_chip chip in
+  let reference = Oracle.functional lk in
+  let rng = Prng.create 12 in
+  let width = Orap.num_ext_inputs design + Orap.num_ffs design in
+  let corrupted = ref 0 in
+  for _ = 1 to 16 do
+    let x = Prng.bool_array rng width in
+    if Oracle.query oracle x <> Oracle.query reference x then incr corrupted
+  done;
+  check Alcotest.bool "responses locked" true (!corrupted > 12);
+  check Alcotest.int "query counting" 16 (Oracle.num_queries oracle)
+
+let test_unprotected_scan_access_would_leak () =
+  (* the same query, answered functionally, is correct — the contrast OraP
+     exists for *)
+  let lk, _ = fixture Orap.Basic in
+  let oracle = Oracle.functional lk in
+  let rng = Prng.create 12 in
+  let x = Prng.bool_array rng lk.Locked.num_regular_inputs in
+  check Alcotest.bool "functional oracle correct" true
+    (Oracle.query oracle x = Locked.eval lk ~key:lk.Locked.correct_key ~inputs:x)
+
+let test_hardware_accounting () =
+  let _, design = fixture Orap.Basic in
+  let h = Orap.hardware design in
+  check Alcotest.int "pulse gens" 24 h.Orap.pulse_gen_gates;
+  check Alcotest.int "reseed xors" 24 h.Orap.reseed_xors;
+  check Alcotest.int "tap xors" 2 h.Orap.tap_xors;
+  check Alcotest.int "gate total" 50 (Orap.hardware_gate_count h);
+  check Alcotest.int "and-node units" (24 + (3 * 26)) (Orap.hardware_and_nodes h)
+
+let test_unlock_cycles_positive () =
+  let _, basic = fixture Orap.Basic in
+  let _, modified = fixture Orap.Modified in
+  check Alcotest.bool "basic cycles" true (Orap.unlock_cycles basic > 0);
+  check Alcotest.bool "modified has two phases" true
+    (Orap.unlock_cycles modified > 12)
+
+let test_chain_contains_all_cells () =
+  let _, design = fixture Orap.Basic in
+  check Alcotest.int "chain length" (24 + 14) (Scan.length design.Orap.chain)
+
+(* --- threat scenarios: the paper's verdict table --- *)
+
+let test_scenario_a_steals_key_but_detectable () =
+  let _, design = fixture Orap.Basic in
+  let o = Threat.run design Threat.Suppress_cell_resets in
+  check Alcotest.bool "oracle obtained" true o.Threat.oracle_obtained;
+  check Alcotest.bool "payload scales with key" true
+    (o.Threat.payload_nand2 = 12.0);
+  check Alcotest.bool "defeated by side channel" true (Threat.defeated o)
+
+let test_scenario_b () =
+  let _, design = fixture Orap.Basic in
+  let o = Threat.run design Threat.Exclude_lfsr_from_scan in
+  check Alcotest.bool "oracle obtained" true o.Threat.oracle_obtained;
+  check Alcotest.bool "detectable" true o.Threat.detectable
+
+let test_scenario_c () =
+  let _, design = fixture Orap.Basic in
+  let o = Threat.run design Threat.Shadow_register in
+  check Alcotest.bool "oracle obtained" true o.Threat.oracle_obtained;
+  check Alcotest.bool "big payload" true (o.Threat.payload_nand2 >= 24.0 *. 9.0)
+
+let test_scenario_d () =
+  let _, design = fixture Orap.Basic in
+  let o = Threat.run design Threat.Xor_tree_key in
+  check Alcotest.bool "oracle obtained" true o.Threat.oracle_obtained;
+  check Alcotest.bool "largest payload" true (o.Threat.payload_nand2 > 200.0)
+
+let test_scenario_e_basic_vs_modified () =
+  let _, basic = fixture Orap.Basic in
+  let ob = Threat.run basic Threat.Freeze_state_ffs in
+  check Alcotest.bool "succeeds on basic scheme" true ob.Threat.oracle_obtained;
+  check Alcotest.bool "stealthy" false ob.Threat.detectable;
+  check Alcotest.bool "basic scheme loses" false (Threat.defeated ob);
+  let _, modified = fixture Orap.Modified in
+  let om = Threat.run modified Threat.Freeze_state_ffs in
+  check Alcotest.bool "fails on modified scheme" false om.Threat.oracle_obtained;
+  check Alcotest.bool "modified scheme wins" true (Threat.defeated om)
+
+let test_honest_chip_has_no_trojan_effects () =
+  let lk, design = fixture Orap.Basic in
+  let chip = Chip.create design in
+  Chip.unlock chip;
+  (* scan dump of an honest chip reveals a cleared key register *)
+  let dump = Chip.scan_dump chip in
+  Array.iter
+    (fun (cell, bit) ->
+      match cell with
+      | Scan.Key _ -> check Alcotest.bool "key bit cleared" false bit
+      | Scan.State _ -> ())
+    dump;
+  ignore lk
+
+let test_interleaving_raises_bypass_cost () =
+  let nl = random_netlist ~inputs:40 ~outputs:30 ~gates:320 77 in
+  let lk = Weighted.lock nl ~key_size:24 ~ctrl_inputs:3 in
+  let mk style =
+    Orap.protect
+      ~config:
+        { (Orap.default_config ~kind:Orap.Basic ~num_ffs:14 ()) with
+          Orap.chain_style = style; seed = 5 }
+      lk
+  in
+  let inter = Threat.payload (mk Scan.Interleaved) Threat.Exclude_lfsr_from_scan in
+  let grouped = Threat.payload (mk Scan.Key_first) Threat.Exclude_lfsr_from_scan in
+  check Alcotest.bool "guideline works" true (inter > grouped)
+
+let suite =
+  ( "core",
+    [
+      tc "basic unlock" `Quick test_unlock_basic;
+      tc "modified unlock" `Quick test_unlock_modified;
+      tc "scan enable clears key (Fig.1)" `Quick test_scan_enable_clears_key;
+      tc "functional cycles" `Quick test_functional_cycle_matches_locked_eval;
+      tc "scan capture is locked" `Quick test_scan_roundtrip_state;
+      tc "scan oracle answers locked" `Quick test_scan_oracle_locked_responses;
+      tc "functional oracle contrast" `Quick test_unprotected_scan_access_would_leak;
+      tc "hardware accounting" `Quick test_hardware_accounting;
+      tc "unlock cycle counts" `Quick test_unlock_cycles_positive;
+      tc "chain covers all cells" `Quick test_chain_contains_all_cells;
+      tc "scenario (a)" `Quick test_scenario_a_steals_key_but_detectable;
+      tc "scenario (b)" `Quick test_scenario_b;
+      tc "scenario (c)" `Quick test_scenario_c;
+      tc "scenario (d)" `Quick test_scenario_d;
+      tc "scenario (e): basic vs modified" `Quick test_scenario_e_basic_vs_modified;
+      tc "honest chip leaks nothing" `Quick test_honest_chip_has_no_trojan_effects;
+      tc "interleaving guideline" `Quick test_interleaving_raises_bypass_cost;
+    ] )

@@ -1,0 +1,90 @@
+open Util
+module E = Orap_experiments
+module Benchgen = Orap_benchgen.Benchgen
+
+let tiny_t1_params =
+  { E.Table1.quick_params with E.Table1.scale = 32; hd_words = 16; hd_keys = 2 }
+
+let tiny_t2_params =
+  { E.Table2.quick_params with E.Table2.scale = 48; random_words = 8 }
+
+let small_profiles =
+  List.filter
+    (fun p -> List.mem p.Benchgen.name [ "s38417"; "b20" ])
+    Benchgen.table1_profiles
+
+let test_table1_shape () =
+  let rows = E.Table1.run ~params:tiny_t1_params ~profiles:small_profiles () in
+  check Alcotest.int "one row per profile" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "HD in band" true
+        (r.E.Table1.hd_pct > 1.0 && r.E.Table1.hd_pct <= 55.0);
+      check Alcotest.bool "area overhead positive" true (r.E.Table1.area_pct > 0.0);
+      check Alcotest.bool "delay overhead non-negative" true
+        (r.E.Table1.delay_pct >= 0.0))
+    rows;
+  let rendered = E.Report.render (E.Table1.report rows) in
+  check Alcotest.bool "rendered" true (String.length rendered > 100)
+
+let test_table2_shape () =
+  let rows = E.Table2.run ~params:tiny_t2_params ~profiles:small_profiles () in
+  List.iter
+    (fun r ->
+      check Alcotest.bool "original coverage sane" true
+        (r.E.Table2.original.E.Table2.fc_pct > 60.0);
+      check Alcotest.bool "protected coverage sane" true
+        (r.E.Table2.protected_.E.Table2.fc_pct > 60.0);
+      check Alcotest.bool "faults counted" true
+        (r.E.Table2.original.E.Table2.total_faults > 0))
+    rows
+
+let test_security_figs () =
+  let fx = E.Security.make_fixture ~num_gates:300 ~key_size:24 () in
+  let f1 = E.Security.fig1 fx in
+  check Alcotest.bool "F1 unlock" true f1.E.Security.unlock_key_correct;
+  check Alcotest.bool "F1 clear" true f1.E.Security.key_cleared_on_scan;
+  check Alcotest.bool "F1 locked scan" true f1.E.Security.scan_responses_locked;
+  let f2 = E.Security.fig2 () in
+  check Alcotest.bool "F2" true
+    (f2.E.Security.fires_on_rising_edge && f2.E.Security.silent_on_level_hold
+    && f2.E.Security.silent_on_falling_edge);
+  let f3 = E.Security.fig3 fx in
+  check Alcotest.bool "F3 honest" true f3.E.Security.honest_unlock_correct;
+  check Alcotest.bool "F3 freeze breaks" true f3.E.Security.frozen_ffs_break_unlock;
+  check Alcotest.bool "F3 basic immune" true f3.E.Security.responses_differ_from_basic
+
+let test_trojan_table_verdicts () =
+  let fx = E.Security.make_fixture ~num_gates:300 ~key_size:24 () in
+  let rows = E.Trojan_table.run fx in
+  check Alcotest.int "5 scenarios x 2 schemes" 10 (List.length rows);
+  (* the paper's verdict: everything defeated except (e) on the basic scheme *)
+  List.iter
+    (fun r ->
+      let defeated = Orap_core.Threat.defeated r.E.Trojan_table.outcome in
+      match (r.E.Trojan_table.scenario, r.E.Trojan_table.scheme) with
+      | Orap_core.Threat.Freeze_state_ffs, "basic" ->
+        check Alcotest.bool "(e) wins vs basic" false defeated
+      | _ -> check Alcotest.bool "defeated" true defeated)
+    rows
+
+let test_report_rendering () =
+  let t =
+    E.Report.create ~title:"t" ~header:[ "a"; "bb" ] ~aligns:[ E.Report.L; E.Report.R ]
+  in
+  E.Report.add_row t [ "xxx"; "1" ];
+  let s = E.Report.render t in
+  check Alcotest.bool "contains title" true
+    (String.length s > 0 && String.sub s 0 4 = "== t");
+  Alcotest.check_raises "row width mismatch" (Invalid_argument "Report.add_row")
+    (fun () -> E.Report.add_row t [ "only-one" ])
+
+let suite =
+  ( "experiments",
+    [
+      tc "table1 shape" `Slow test_table1_shape;
+      tc "table2 shape" `Slow test_table2_shape;
+      tc "security figures" `Quick test_security_figs;
+      tc "trojan verdict table" `Quick test_trojan_table_verdicts;
+      tc "report rendering" `Quick test_report_rendering;
+    ] )

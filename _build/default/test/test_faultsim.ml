@@ -1,0 +1,150 @@
+open Util
+module N = Orap_netlist.Netlist
+module Gate = Orap_netlist.Gate
+module Fault = Orap_faultsim.Fault
+module Fsim = Orap_faultsim.Fsim
+module Sim = Orap_sim.Sim
+module Prng = Orap_sim.Prng
+
+(* reference: full-circuit simulation with the fault inserted, one pattern *)
+let eval_with_fault nl fault inp =
+  let n = N.num_nodes nl in
+  let values = Array.make n false in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    let v =
+      match N.kind nl i with
+      | Gate.Input ->
+        let v = inp.(!pos) in
+        incr pos;
+        v
+      | k ->
+        let fan = N.fanins nl i in
+        let ops =
+          Array.mapi
+            (fun p f ->
+              match fault.Fault.site with
+              | Fault.Input (fn, fp) when fn = i && fp = p -> fault.Fault.stuck
+              | Fault.Input _ | Fault.Output _ -> values.(f))
+            fan
+        in
+        Gate.eval_bool k ops
+    in
+    let v =
+      match fault.Fault.site with
+      | Fault.Output fn when fn = i -> fault.Fault.stuck
+      | Fault.Output _ | Fault.Input _ -> v
+    in
+    values.(i) <- v
+  done;
+  Array.map (fun o -> values.(o)) (N.outputs nl)
+
+let test_collapsed_list_structure () =
+  let nl = random_netlist ~inputs:6 ~outputs:4 ~gates:40 3 in
+  let faults = Fault.collapsed_list nl in
+  check Alcotest.bool "non-empty" true (Array.length faults > 0);
+  check Alcotest.bool "fewer than uncollapsed" true
+    (Array.length faults < Fault.total_uncollapsed nl);
+  (* no duplicates *)
+  let sorted = Array.copy faults in
+  Array.sort Fault.compare sorted;
+  let dups = ref 0 in
+  for i = 1 to Array.length sorted - 1 do
+    if Fault.compare sorted.(i) sorted.(i - 1) = 0 then incr dups
+  done;
+  check Alcotest.int "no duplicates" 0 !dups
+
+let test_collapsing_rules () =
+  (* AND gate fed by two fanout stems: branch s-a-0 is collapsed away,
+     branch s-a-1 kept *)
+  let b = N.Builder.create () in
+  let a = N.Builder.add_input b in
+  let c = N.Builder.add_input b in
+  let g1 = N.Builder.add_node b Gate.And [| a; c |] in
+  let g2 = N.Builder.add_node b Gate.Or [| a; c |] in
+  N.Builder.mark_output b g1;
+  N.Builder.mark_output b g2;
+  let nl = N.Builder.finish b in
+  let faults = Array.to_list (Fault.collapsed_list nl) in
+  let has site stuck = List.mem { Fault.site; stuck } faults in
+  check Alcotest.bool "AND branch sa1 kept" true (has (Fault.Input (2, 0)) true);
+  check Alcotest.bool "AND branch sa0 collapsed" false (has (Fault.Input (2, 0)) false);
+  check Alcotest.bool "OR branch sa0 kept" true (has (Fault.Input (3, 0)) false);
+  check Alcotest.bool "OR branch sa1 collapsed" false (has (Fault.Input (3, 0)) true)
+
+let test_single_fanout_branches_collapsed () =
+  let b = N.Builder.create () in
+  let a = N.Builder.add_input b in
+  let c = N.Builder.add_input b in
+  let g = N.Builder.add_node b Gate.Xor [| a; c |] in
+  N.Builder.mark_output b g;
+  let nl = N.Builder.finish b in
+  let faults = Array.to_list (Fault.collapsed_list nl) in
+  let branch = List.filter (fun f -> match f.Fault.site with Fault.Input _ -> true | Fault.Output _ -> false) faults in
+  check Alcotest.int "no branch faults on single fanout" 0 (List.length branch)
+
+let prop_detect_word_matches_reference =
+  qtest ~count:40 "parallel fault sim agrees with reference" seed_gen
+    (fun seed ->
+      let nl = random_netlist ~inputs:6 ~outputs:4 ~gates:35 seed in
+      let faults = Fault.collapsed_list nl in
+      let t = Fsim.create nl in
+      let rng = Prng.create (seed + 13) in
+      let ni = N.num_inputs nl in
+      let words = Array.init ni (fun _ -> Prng.next64 rng) in
+      let good = Sim.eval_word nl ~input_word:(fun i -> words.(i)) in
+      let ok = ref true in
+      (* probe a subset of faults against a subset of the 64 patterns *)
+      Array.iteri
+        (fun fi fault ->
+          if fi mod 3 = 0 then begin
+            let mask = Fsim.detect_word t good fault in
+            for bit = 0 to 7 do
+              let inp =
+                Array.init ni (fun i ->
+                    Int64.logand (Int64.shift_right_logical words.(i) bit) 1L
+                    <> 0L)
+              in
+              let faulty = eval_with_fault nl fault inp in
+              let good_b = Sim.eval_bools nl inp in
+              let expected = faulty <> good_b in
+              let got = Int64.logand (Int64.shift_right_logical mask bit) 1L <> 0L in
+              if expected <> got then ok := false
+            done
+          end)
+        faults;
+      !ok)
+
+let test_random_simulate_drops () =
+  let nl = random_netlist ~inputs:10 ~outputs:8 ~gates:120 21 in
+  let faults = Fault.collapsed_list nl in
+  let remaining = Array.make (Array.length faults) true in
+  let stats = Fsim.random_simulate ~words:8 nl faults remaining in
+  let undetected = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 remaining in
+  check Alcotest.int "bookkeeping" (Array.length faults)
+    (stats.Fsim.detected + undetected);
+  check Alcotest.bool "most faults detected by random patterns" true
+    (stats.Fsim.detected * 10 > Array.length faults * 7)
+
+let test_simulate_pattern_consistency () =
+  let nl = random_netlist ~inputs:8 ~outputs:6 ~gates:60 31 in
+  let faults = Fault.collapsed_list nl in
+  let t = Fsim.create nl in
+  let remaining = Array.make (Array.length faults) true in
+  let pattern = Array.make 8 true in
+  let dropped = Fsim.simulate_pattern t pattern faults remaining in
+  let undetected = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 remaining in
+  check Alcotest.int "drop accounting" (Array.length faults) (dropped + undetected);
+  (* second run of the same pattern drops nothing new *)
+  check Alcotest.int "idempotent" 0 (Fsim.simulate_pattern t pattern faults remaining)
+
+let suite =
+  ( "faultsim",
+    [
+      tc "collapsed list structure" `Quick test_collapsed_list_structure;
+      tc "gate-type collapsing rules" `Quick test_collapsing_rules;
+      tc "single-fanout branch collapsing" `Quick test_single_fanout_branches_collapsed;
+      prop_detect_word_matches_reference;
+      tc "random simulate with dropping" `Quick test_random_simulate_drops;
+      tc "simulate_pattern accounting" `Quick test_simulate_pattern_consistency;
+    ] )

@@ -1,0 +1,195 @@
+open Util
+module Solver = Orap_sat.Solver
+module Lit = Orap_sat.Lit
+module Tseitin = Orap_sat.Tseitin
+module Dimacs = Orap_sat.Dimacs
+module N = Orap_netlist.Netlist
+module Prng = Orap_sim.Prng
+
+let result = Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt
+        (match r with Solver.Sat -> "SAT" | Solver.Unsat -> "UNSAT"))
+    ( = )
+
+let test_lit_encoding () =
+  let l = Lit.pos 5 in
+  check Alcotest.int "var" 5 (Lit.var l);
+  check Alcotest.bool "pos" false (Lit.is_neg l);
+  check Alcotest.bool "negate" true (Lit.is_neg (Lit.negate l));
+  check Alcotest.int "dimacs" 6 (Lit.to_dimacs l);
+  check Alcotest.int "dimacs neg" (-6) (Lit.to_dimacs (Lit.neg 5));
+  check Alcotest.int "of_dimacs roundtrip" l (Lit.of_dimacs 6)
+
+let test_empty_sat () =
+  let s = Solver.create () in
+  check result "empty" Solver.Sat (Solver.solve s)
+
+let test_unit_conflict () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  ignore (Solver.add_clause s [ Lit.pos v ]);
+  ignore (Solver.add_clause s [ Lit.neg v ]);
+  check result "x & ~x" Solver.Unsat (Solver.solve s)
+
+let php ~holes ~pigeons =
+  let s = Solver.create () in
+  let v = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    ignore (Solver.add_clause s (List.init holes (fun h -> Lit.pos v.(p).(h))))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        ignore (Solver.add_clause s [ Lit.neg v.(p1).(h); Lit.neg v.(p2).(h) ])
+      done
+    done
+  done;
+  Solver.solve s
+
+let test_pigeonhole () =
+  check result "php(3,4)" Solver.Unsat (php ~holes:3 ~pigeons:4);
+  check result "php(4,4)" Solver.Sat (php ~holes:4 ~pigeons:4);
+  check result "php(7,8)" Solver.Unsat (php ~holes:7 ~pigeons:8)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  ignore (Solver.add_clause s [ Lit.pos a; Lit.pos b ]);
+  check result "both negated" Solver.Unsat
+    (Solver.solve ~assumptions:[| Lit.neg a; Lit.neg b |] s);
+  check result "one negated" Solver.Sat
+    (Solver.solve ~assumptions:[| Lit.neg a |] s);
+  check Alcotest.bool "model forces b" true (Solver.model_value s b);
+  (* solver remains usable *)
+  check result "no assumptions" Solver.Sat (Solver.solve s)
+
+let test_incremental_add () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  ignore (Solver.add_clause s [ Lit.pos a; Lit.pos b ]);
+  check result "sat" Solver.Sat (Solver.solve s);
+  Solver.backtrack_to_root s;
+  ignore (Solver.add_clause s [ Lit.neg a ]);
+  ignore (Solver.add_clause s [ Lit.neg b ]);
+  check result "unsat after adds" Solver.Unsat (Solver.solve s)
+
+let brute_force_sat nv clauses =
+  let sat = ref false in
+  for m = 0 to (1 lsl nv) - 1 do
+    if not !sat then
+      if
+        List.for_all
+          (List.exists (fun l ->
+               let v = Lit.var l in
+               let bit = (m lsr v) land 1 = 1 in
+               if Lit.is_neg l then not bit else bit))
+          clauses
+      then sat := true
+  done;
+  !sat
+
+let prop_random_3sat_sound =
+  qtest ~count:60 "random 3-SAT agrees with brute force" seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let nv = 12 in
+      let s = Solver.create () in
+      let vars = Solver.new_vars s nv in
+      let clauses = ref [] in
+      for _ = 1 to 52 do
+        let cl =
+          List.init 3 (fun _ ->
+              Lit.of_var ~negated:(Prng.bool rng) vars.(Prng.int rng nv))
+        in
+        clauses := cl :: !clauses;
+        ignore (Solver.add_clause s cl)
+      done;
+      let expected = brute_force_sat nv !clauses in
+      match Solver.solve s with
+      | Solver.Sat ->
+        expected
+        && List.for_all
+             (List.exists (fun l -> Solver.model_lit s l))
+             !clauses
+      | Solver.Unsat -> not expected)
+
+(* --- Tseitin --- *)
+
+let test_tseitin_equivalence () =
+  (* miter of a netlist against itself must be UNSAT *)
+  let nl = random_netlist ~inputs:8 ~outputs:5 ~gates:60 77 in
+  let s = Solver.create () in
+  let x = Solver.new_vars s (N.num_inputs nl) in
+  let n1 = Tseitin.encode s nl ~input_var:(fun i -> x.(i)) in
+  let n2 = Tseitin.encode s nl ~input_var:(fun i -> x.(i)) in
+  let o1 = Tseitin.output_vars nl n1 and o2 = Tseitin.output_vars nl n2 in
+  let diffs =
+    Array.map2
+      (fun a b ->
+        let d = Solver.new_var s in
+        ignore (Solver.add_clause s [ Lit.neg d; Lit.pos a; Lit.pos b ]);
+        ignore (Solver.add_clause s [ Lit.neg d; Lit.neg a; Lit.neg b ]);
+        ignore (Solver.add_clause s [ Lit.pos d; Lit.pos a; Lit.neg b ]);
+        ignore (Solver.add_clause s [ Lit.pos d; Lit.neg a; Lit.pos b ]);
+        d)
+      o1 o2
+  in
+  ignore (Solver.add_clause s (Array.to_list (Array.map Lit.pos diffs)));
+  check result "self-miter UNSAT" Solver.Unsat (Solver.solve s)
+
+let prop_tseitin_matches_simulation =
+  qtest ~count:30 "tseitin model agrees with simulation" seed_gen (fun seed ->
+      let nl = random_netlist ~inputs:7 ~outputs:4 ~gates:45 seed in
+      let s = Solver.create () in
+      let x = Solver.new_vars s (N.num_inputs nl) in
+      let nodes = Tseitin.encode s nl ~input_var:(fun i -> x.(i)) in
+      let outs = Tseitin.output_vars nl nodes in
+      (* force a random input assignment via unit clauses *)
+      let rng = Prng.create (seed + 1) in
+      let inp = Array.init (N.num_inputs nl) (fun _ -> Prng.bool rng) in
+      Array.iteri
+        (fun i v ->
+          ignore
+            (Solver.add_clause s [ (if inp.(i) then Lit.pos v else Lit.neg v) ]))
+        x;
+      match Solver.solve s with
+      | Solver.Unsat -> false
+      | Solver.Sat ->
+        let sim = Orap_sim.Sim.eval_bools nl inp in
+        Array.for_all2 (fun ov expect -> Solver.model_value s ov = expect)
+          outs sim)
+
+(* --- DIMACS --- *)
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Dimacs.parse text in
+  check Alcotest.int "vars" 3 cnf.Dimacs.num_vars;
+  check Alcotest.int "clauses" 2 (List.length cnf.Dimacs.clauses);
+  let cnf2 = Dimacs.parse (Dimacs.print cnf) in
+  check Alcotest.bool "roundtrip" true (cnf.Dimacs.clauses = cnf2.Dimacs.clauses);
+  let s, _ = Dimacs.to_solver cnf in
+  check result "sat" Solver.Sat (Solver.solve s)
+
+let test_stats_exposed () =
+  let s = Solver.create () in
+  ignore (php ~holes:3 ~pigeons:4);
+  check Alcotest.bool "fresh solver has no conflicts" true
+    (Solver.num_conflicts s = 0 && Solver.num_decisions s = 0
+     && Solver.num_propagations s = 0);
+  check Alcotest.int "vars" 0 (Solver.num_vars s)
+
+let suite =
+  ( "sat",
+    [
+      tc "literal encoding" `Quick test_lit_encoding;
+      tc "empty formula" `Quick test_empty_sat;
+      tc "unit conflict" `Quick test_unit_conflict;
+      tc "pigeonhole" `Quick test_pigeonhole;
+      tc "assumptions" `Quick test_assumptions;
+      tc "incremental clause adding" `Quick test_incremental_add;
+      prop_random_3sat_sound;
+      tc "tseitin self-miter" `Quick test_tseitin_equivalence;
+      prop_tseitin_matches_simulation;
+      tc "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+      tc "statistics exposed" `Quick test_stats_exposed;
+    ] )

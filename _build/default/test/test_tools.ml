@@ -1,0 +1,71 @@
+(** Verilog export and ATPG test compaction. *)
+
+open Util
+module N = Orap_netlist.Netlist
+module Verilog = Orap_netlist.Verilog
+module Atpg = Orap_atpg.Atpg
+module Fault = Orap_faultsim.Fault
+module Fsim = Orap_faultsim.Fsim
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_verilog_structure () =
+  let nl = random_netlist ~inputs:6 ~outputs:4 ~gates:30 7 in
+  let v = Verilog.of_netlist ~module_name:"dut" nl in
+  check Alcotest.bool "module header" true (contains v "module dut(");
+  check Alcotest.bool "endmodule" true (contains v "endmodule");
+  check Alcotest.bool "inputs declared" true (contains v "input pi0;");
+  check Alcotest.bool "outputs assigned" true (contains v "assign po0 = ");
+  (* one primitive instance per logic gate (excluding Mux/consts) *)
+  let gates = ref 0 in
+  for i = 0 to N.num_nodes nl - 1 do
+    match N.kind nl i with
+    | Orap_netlist.Gate.Input | Orap_netlist.Gate.Const0
+    | Orap_netlist.Gate.Const1 | Orap_netlist.Gate.Mux ->
+      ()
+    | _ -> incr gates
+  done;
+  let count_instances =
+    List.length
+      (List.filter
+         (fun line -> contains line "g" && contains line "(")
+         (String.split_on_char '\n' v))
+  in
+  check Alcotest.bool "instances emitted" true (count_instances >= !gates)
+
+let test_verilog_deterministic () =
+  let nl = random_netlist ~inputs:6 ~outputs:4 ~gates:30 7 in
+  check Alcotest.bool "stable output" true
+    (Verilog.of_netlist nl = Verilog.of_netlist nl)
+
+let test_compaction_preserves_coverage () =
+  let nl = random_netlist ~inputs:14 ~outputs:10 ~gates:160 9 in
+  (* force deterministic phase to generate many patterns *)
+  let r = Atpg.run ~random_words:1 ~backtrack_limit:128 nl in
+  let original = r.Atpg.patterns in
+  let compacted = Atpg.compact_patterns nl original in
+  check Alcotest.bool "not longer" true
+    (List.length compacted <= List.length original);
+  (* coverage of the compacted set equals the original set's *)
+  let covered patterns =
+    let faults = Fault.collapsed_list nl in
+    let remaining = Array.make (Array.length faults) true in
+    let fsim = Fsim.create nl in
+    List.iter
+      (fun p -> ignore (Fsim.simulate_pattern fsim p faults remaining))
+      patterns;
+    Array.fold_left (fun acc r -> if r then acc else acc + 1) 0 remaining
+  in
+  check Alcotest.int "same deterministic coverage" (covered original)
+    (covered compacted)
+
+let suite =
+  ( "tools",
+    [
+      tc "verilog structure" `Quick test_verilog_structure;
+      tc "verilog deterministic" `Quick test_verilog_deterministic;
+      tc "compaction preserves coverage" `Quick test_compaction_preserves_coverage;
+    ] )

@@ -1,0 +1,34 @@
+(** Shared helpers for the test suites. *)
+
+module N = Orap_netlist.Netlist
+module Gate = Orap_netlist.Gate
+module Sim = Orap_sim.Sim
+module Prng = Orap_sim.Prng
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(** A deterministic random netlist for property tests. *)
+let random_netlist ?(inputs = 8) ?(outputs = 5) ?(gates = 60) seed =
+  Orap_benchgen.Benchgen.generate
+    { Orap_benchgen.Benchgen.seed; num_inputs = inputs; num_outputs = outputs;
+      num_gates = gates }
+
+(** Do two netlists with the same input count agree on [n] random patterns? *)
+let equivalent_on_random ?(seed = 424) ?(n = 128) a b =
+  if N.num_inputs a <> N.num_inputs b then false
+  else begin
+    let rng = Prng.create seed in
+    let ok = ref true in
+    for _ = 1 to n do
+      let inp = Prng.bool_array rng (N.num_inputs a) in
+      if Sim.eval_bools a inp <> Sim.eval_bools b inp then ok := false
+    done;
+    !ok
+  end
+
+(** QCheck generator for small seeds. *)
+let seed_gen = QCheck.(int_range 0 10_000)
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
