@@ -88,6 +88,22 @@ let run_tables () =
   section "Section III — Trojan scenarios";
   E.Report.print (E.Trojan_table.report (E.Trojan_table.run fx));
 
+  section "Robustness — attacks vs noisy / rate-limited oracles";
+  let rparams =
+    {
+      E.Robustness.default_params with
+      E.Robustness.num_gates = max 60 (300 / scale);
+      key_size = max 8 (16 / max 1 (scale / 4));
+      trials = (if scale >= 8 then 2 else 3);
+      max_iterations = 64;
+      wall_clock_s = 5.0;
+    }
+  in
+  let rrows =
+    time_it "robustness" (fun () -> E.Robustness.run ~params:rparams ())
+  in
+  E.Report.print (E.Robustness.report rrows);
+
   section "Manufacturing-test flow through the protected chip (Table II, end to end)";
   let sf = time_it "scan flow" (fun () -> E.Scan_flow.run fx.E.Security.basic) in
   Printf.printf
@@ -189,6 +205,19 @@ let tests () =
              (Orap_attacks.Sat_attack.run small_locked
                 (Oracle.functional small_locked))))
   in
+  (* robustness kernel: one query through the full fault stack *)
+  let faulty_input =
+    Array.init small_locked.Locked.num_regular_inputs (fun i -> i land 1 = 1)
+  in
+  let faulty_stack =
+    let o = Oracle.functional small_locked in
+    let o = Orap_core.Faulty_oracle.bit_flip ~seed:9 ~p:0.05 o in
+    Orap_core.Faulty_oracle.retry ~votes:3 o
+  in
+  let t_faulty =
+    Test.make ~name:"robustness/faulty oracle query (bit-flip, 3 votes)"
+      (Staged.stage (fun () -> ignore (Oracle.query faulty_stack faulty_input)))
+  in
   (* S2 kernel: symbolic LFSR schedule *)
   let lfsr = Lfsr.create ~size:128 () in
   let t_sym =
@@ -198,7 +227,8 @@ let tests () =
              (Symbolic.of_schedule lfsr ~num_seeds:8
                 ~free_runs:[ 3; 3; 3; 3; 3; 3; 3; 3 ])))
   in
-  [ t_sim; t_hd; t_lock; t_synth; t_fsim; t_atpg; t_unlock; t_scan; t_sat; t_sym ]
+  [ t_sim; t_hd; t_lock; t_synth; t_fsim; t_atpg; t_unlock; t_scan; t_sat;
+    t_faulty; t_sym ]
 
 let run_micro () =
   section "Bechamel micro-benchmarks (one kernel per table/figure)";

@@ -90,57 +90,163 @@ let atpg_cmd =
 
 (* --- attack --- *)
 
+module Budget = Orap_attacks.Budget
+module Faulty = Orap_core.Faulty_oracle
+module Evaluate = Orap_attacks.Evaluate
+
 let attack_cmd =
-  let run attack oracle seed gates key_size =
+  let run attack oracle seed gates key_size noise qbudget votes wall_clock
+      max_conflicts validate =
     let fx =
       E.Security.make_fixture ~seed ~num_gates:gates ~key_size ()
     in
     let mk_oracle () =
-      match oracle with
-      | "functional" -> Orap_core.Oracle.functional fx.E.Security.locked
-      | "orap" ->
-        let chip = Orap_core.Chip.create fx.E.Security.basic in
-        Orap_core.Chip.unlock chip;
-        Orap_core.Oracle.scan_chip chip
-      | o -> failwith ("unknown oracle " ^ o)
+      let base =
+        match oracle with
+        | "functional" -> Orap_core.Oracle.functional fx.E.Security.locked
+        | "orap" ->
+          let chip = Orap_core.Chip.create fx.E.Security.basic in
+          Orap_core.Chip.unlock chip;
+          Orap_core.Oracle.scan_chip chip
+        | o -> failwith ("unknown oracle " ^ o)
+      in
+      let o = if noise > 0.0 then Faulty.bit_flip ~seed ~p:noise base else base in
+      let o = if qbudget > 0 then Faulty.query_budget ~limit:qbudget o else o in
+      if votes > 1 then Faulty.retry ~votes o else o
+    in
+    let budget =
+      Budget.make
+        ?wall_clock_s:(if wall_clock > 0.0 then Some wall_clock else None)
+        ?max_conflicts:(if max_conflicts > 0 then Some max_conflicts else None)
+        ()
     in
     let locked = fx.E.Security.locked in
-    let verdict, iters, queries =
+    let outcome, iters, queries =
       match attack with
       | "sat" ->
-        let r = Orap_attacks.Sat_attack.run locked (mk_oracle ()) in
-        (Orap_attacks.Evaluate.of_key locked r.Orap_attacks.Sat_attack.key,
+        let r =
+          Orap_attacks.Sat_attack.run ~budget ~validate locked (mk_oracle ())
+        in
+        (r.Orap_attacks.Sat_attack.outcome,
          r.Orap_attacks.Sat_attack.iterations, r.Orap_attacks.Sat_attack.queries)
       | "appsat" ->
-        let r = Orap_attacks.Appsat.run locked (mk_oracle ()) in
-        (Orap_attacks.Evaluate.of_key locked r.Orap_attacks.Appsat.key,
+        let r = Orap_attacks.Appsat.run ~budget locked (mk_oracle ()) in
+        (r.Orap_attacks.Appsat.outcome,
          r.Orap_attacks.Appsat.iterations, r.Orap_attacks.Appsat.queries)
       | "ddip" ->
-        let r = Orap_attacks.Double_dip.run locked (mk_oracle ()) in
-        (Orap_attacks.Evaluate.of_key locked r.Orap_attacks.Double_dip.key,
+        let r = Orap_attacks.Double_dip.run ~budget locked (mk_oracle ()) in
+        (r.Orap_attacks.Double_dip.outcome,
          r.Orap_attacks.Double_dip.iterations, r.Orap_attacks.Double_dip.queries)
       | "hill" ->
-        let r = Orap_attacks.Hill_climb.run locked (mk_oracle ()) in
-        (Orap_attacks.Evaluate.of_key locked (Some r.Orap_attacks.Hill_climb.key),
+        let r = Orap_attacks.Hill_climb.run ~budget locked (mk_oracle ()) in
+        (r.Orap_attacks.Hill_climb.outcome,
          r.Orap_attacks.Hill_climb.flips, r.Orap_attacks.Hill_climb.queries)
       | "sens" ->
-        let r = Orap_attacks.Key_sensitization.run locked (mk_oracle ()) in
-        (Orap_attacks.Evaluate.of_key locked (Some r.Orap_attacks.Key_sensitization.key),
+        let r = Orap_attacks.Key_sensitization.run ~budget locked (mk_oracle ()) in
+        (r.Orap_attacks.Key_sensitization.outcome,
          r.Orap_attacks.Key_sensitization.sensitized_bits,
          r.Orap_attacks.Key_sensitization.queries)
       | a -> failwith ("unknown attack " ^ a)
     in
-    Printf.printf "%s vs %s oracle: %s (iters=%d, queries=%d)\n" attack oracle
-      (Orap_attacks.Evaluate.to_string verdict) iters queries
+    let verdict = Evaluate.of_outcome locked outcome in
+    let shown =
+      match outcome with
+      | Budget.Exact _ when not verdict.Evaluate.equivalent ->
+        (* the miter proof is relative to the oracle's answers — a locked
+           (OraP) oracle yields a proof of the wrong function *)
+        "false proof (exact only vs. the oracle's answers)"
+      | o -> Budget.outcome_to_string o
+    in
+    Printf.printf "%s vs %s oracle: %s — %s (iters=%d, queries=%d)\n" attack
+      oracle shown
+      (Evaluate.to_string verdict)
+      iters queries
   in
   let attack = Arg.(value & opt string "sat" & info [ "attack" ] ~doc:"sat|appsat|ddip|hill|sens") in
   let oracle = Arg.(value & opt string "functional" & info [ "oracle" ] ~doc:"functional|orap") in
   let seed = Arg.(value & opt int 12 & info [ "seed" ] ~doc:"fixture seed") in
   let gates = Arg.(value & opt int 500 & info [ "gates" ] ~doc:"fixture gate count") in
   let key_size = Arg.(value & opt int 32 & info [ "key-size" ] ~doc:"key bits") in
+  let noise = Arg.(value & opt float 0.0 & info [ "noise" ] ~doc:"per-query bit-flip probability") in
+  let qbudget = Arg.(value & opt int 0 & info [ "query-budget" ] ~doc:"oracle refuses after N queries (0 = unlimited)") in
+  let votes = Arg.(value & opt int 1 & info [ "votes" ] ~doc:"majority-vote retries per query (odd; 1 = off)") in
+  let wall_clock = Arg.(value & opt float 0.0 & info [ "wall-clock" ] ~doc:"attack deadline in seconds (0 = none)") in
+  let max_conflicts = Arg.(value & opt int 0 & info [ "max-conflicts" ] ~doc:"cumulative solver-conflict budget (0 = none)") in
+  let validate = Arg.(value & opt int 32 & info [ "validate" ] ~doc:"post-proof audit queries for SAT's exact claims (0 = trust the proof)") in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run an oracle-based attack on a locked fixture")
-    Term.(const run $ attack $ oracle $ seed $ gates $ key_size)
+    Term.(const run $ attack $ oracle $ seed $ gates $ key_size $ noise
+          $ qbudget $ votes $ wall_clock $ max_conflicts $ validate)
+
+(* --- robustness --- *)
+
+let robustness_cmd =
+  let parse_list ~what conv s =
+    match
+      List.map conv
+        (List.filter (fun x -> x <> "") (String.split_on_char ',' s))
+    with
+    | [] -> failwith ("empty " ^ what ^ " list")
+    | l -> l
+    | exception _ -> failwith ("bad " ^ what ^ " list: " ^ s)
+  in
+  let run seed gates key_size oracle noise qbudgets trials attacks iters
+      wall_clock max_conflicts votes =
+    let oracle =
+      match oracle with
+      | "functional" -> E.Robustness.Functional
+      | "orap" -> E.Robustness.Orap_scan
+      | o -> failwith ("unknown oracle " ^ o)
+    in
+    let attacks =
+      if attacks = "all" then E.Robustness.all_attacks
+      else
+        parse_list ~what:"attack"
+          (function
+            | "sat" -> E.Robustness.Sat
+            | "appsat" -> E.Robustness.Appsat_k
+            | "ddip" -> E.Robustness.Double_dip_k
+            | "hill" -> E.Robustness.Hill
+            | "sens" -> E.Robustness.Sensitize
+            | a -> failwith ("unknown attack " ^ a))
+          attacks
+    in
+    let params =
+      {
+        E.Robustness.seed;
+        num_gates = gates;
+        key_size;
+        oracle;
+        noise_levels = parse_list ~what:"noise" float_of_string noise;
+        query_budgets = parse_list ~what:"query-budget" int_of_string qbudgets;
+        trials;
+        attacks;
+        max_iterations = iters;
+        wall_clock_s = wall_clock;
+        max_conflicts = (if max_conflicts > 0 then Some max_conflicts else None);
+        retry_votes = votes;
+        validate_queries = E.Robustness.default_params.E.Robustness.validate_queries;
+      }
+    in
+    E.Report.print (E.Robustness.report (E.Robustness.run ~params ()))
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"fixture seed") in
+  let gates = Arg.(value & opt int 300 & info [ "gates" ] ~doc:"fixture gate count") in
+  let key_size = Arg.(value & opt int 16 & info [ "key-size" ] ~doc:"key bits") in
+  let oracle = Arg.(value & opt string "functional" & info [ "oracle" ] ~doc:"base oracle: functional|orap") in
+  let noise = Arg.(value & opt string "0.0,0.02,0.1" & info [ "noise" ] ~doc:"comma-separated bit-flip probabilities") in
+  let qbudgets = Arg.(value & opt string "0,2000" & info [ "query-budget" ] ~doc:"comma-separated query budgets (0 = unlimited)") in
+  let trials = Arg.(value & opt int 3 & info [ "trials" ] ~doc:"noise seeds per cell") in
+  let attacks = Arg.(value & opt string "all" & info [ "attacks" ] ~doc:"all or comma-separated sat|appsat|ddip|hill|sens") in
+  let iters = Arg.(value & opt int 256 & info [ "max-iterations" ] ~doc:"DIP/loop iteration cap") in
+  let wall_clock = Arg.(value & opt float 10.0 & info [ "wall-clock" ] ~doc:"per-attack deadline, seconds") in
+  let max_conflicts = Arg.(value & opt int 0 & info [ "max-conflicts" ] ~doc:"cumulative solver-conflict budget (0 = none)") in
+  let votes = Arg.(value & opt int 1 & info [ "votes" ] ~doc:"majority-vote retries per query (odd; 1 = off)") in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:"Sweep noise level x query budget x attack against an imperfect oracle")
+    Term.(const run $ seed $ gates $ key_size $ oracle $ noise $ qbudgets
+          $ trials $ attacks $ iters $ wall_clock $ max_conflicts $ votes)
 
 (* --- experiment tables --- *)
 
@@ -242,7 +348,8 @@ let main =
   Cmd.group
     (Cmd.info "orap" ~version:"1.0.0"
        ~doc:"OraP: oracle-protection logic locking (DATE 2020 reproduction)")
-    [ generate_cmd; lock_cmd; atpg_cmd; attack_cmd; export_cmd; table1_cmd;
-      table2_cmd; security_cmd; trojans_cmd; ablation_cmd; scanflow_cmd ]
+    [ generate_cmd; lock_cmd; atpg_cmd; attack_cmd; robustness_cmd; export_cmd;
+      table1_cmd; table2_cmd; security_cmd; trojans_cmd; ablation_cmd;
+      scanflow_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -44,7 +44,8 @@ let () =
           (Oracle.functional locked)
       in
       let unprotected =
-        Evaluate.to_string (Evaluate.of_key locked r.Orap_attacks.Sat_attack.key)
+        Evaluate.to_string
+          (Evaluate.of_outcome locked r.Orap_attacks.Sat_attack.outcome)
       in
       (* the same circuit behind an OraP chip *)
       let design =
@@ -59,7 +60,8 @@ let () =
           (Oracle.scan_chip chip)
       in
       let with_orap =
-        Evaluate.to_string (Evaluate.of_key locked r2.Orap_attacks.Sat_attack.key)
+        Evaluate.to_string
+          (Evaluate.of_outcome locked r2.Orap_attacks.Sat_attack.outcome)
       in
       E.Report.add_row table
         [ name; E.Report.f1 hd; unprotected;

@@ -48,10 +48,10 @@ let () =
   (* 5. the attacker, with scan access to an unprotected design, wins *)
   let r = Sat_attack.run locked (Oracle.functional locked) in
   Printf.printf "SAT attack, unprotected oracle: %s after %d DIPs\n"
-    (Evaluate.to_string (Evaluate.of_key locked r.Sat_attack.key))
+    (Evaluate.to_string (Evaluate.of_outcome locked r.Sat_attack.outcome))
     r.Sat_attack.iterations;
 
   (* 6. against the OraP chip, scan access only sees the locked circuit *)
   let r = Sat_attack.run locked (Oracle.scan_chip chip) in
   Printf.printf "SAT attack, OraP-protected oracle: %s\n"
-    (Evaluate.to_string (Evaluate.of_key locked r.Sat_attack.key))
+    (Evaluate.to_string (Evaluate.of_outcome locked r.Sat_attack.outcome))

@@ -11,77 +11,108 @@ module Lit = Orap_sat.Lit
 module Prng = Orap_sim.Prng
 
 type result = {
-  key : bool array option;
+  outcome : bool array Budget.outcome;
   iterations : int;
   queries : int;
-  settled_approximate : bool;  (** stopped at the error threshold *)
-  estimated_error : float;  (** failing fraction of the probe queries *)
+  elapsed_s : float;
 }
 
-let run ?(max_iterations = 256) ?(probe_every = 8) ?(probe_size = 32)
-    ?(error_threshold = 0.01) ?(seed = 4242) (locked : Locked.t)
-    (oracle : Oracle.t) : result =
+let run ?(budget = Budget.default) ?max_iterations ?(probe_every = 8)
+    ?(probe_size = 32) ?(error_threshold = 0.01) ?(seed = 4242)
+    (locked : Locked.t) (oracle : Oracle.t) : result =
+  let budget =
+    match max_iterations with
+    | Some n -> { budget with Budget.max_iterations = n }
+    | None -> budget
+  in
+  let clock = Budget.start budget in
   let st = Sat_attack.make_state locked in
   let rng = Prng.create seed in
   let nri = locked.Locked.num_regular_inputs in
+  let finish outcome iters =
+    { outcome; iterations = iters; queries = Oracle.num_queries oracle;
+      elapsed_s = Budget.elapsed_s clock }
+  in
   (* probe the current constraint-consistent key on random queries *)
   let probe () =
-    match Solver.solve ~assumptions:[| Lit.negate st.Sat_attack.activate |] st.Sat_attack.solver with
-    | Solver.Unsat -> None
-    | Solver.Sat ->
+    match
+      Budget.solve clock
+        ~assumptions:[| Lit.negate st.Sat_attack.activate |]
+        st.Sat_attack.solver
+    with
+    | Error r -> Error (Budget.Exhausted r)
+    | Ok Solver.Unsat -> Error (Budget.Exhausted Budget.Inconsistent)
+    | Ok Solver.Sat ->
       let key = Sat_attack.extract_key st st.Sat_attack.k1_vars in
       Solver.backtrack_to_root st.Sat_attack.solver;
       let errors = ref 0 in
       let failing = ref [] in
-      for _ = 1 to probe_size do
-        let x = Prng.bool_array rng nri in
-        let y = Oracle.query oracle x in
-        if Locked.eval locked ~key ~inputs:x <> y then begin
-          incr errors;
-          failing := (x, y) :: !failing
-        end
-      done;
-      Some (key, float_of_int !errors /. float_of_int probe_size, !failing)
+      let refused = ref None in
+      (try
+         for _ = 1 to probe_size do
+           let x = Prng.bool_array rng nri in
+           match Budget.query oracle x with
+           | Error r ->
+             refused := Some r;
+             raise Exit
+           | Ok y ->
+             if Locked.eval locked ~key ~inputs:x <> y then begin
+               incr errors;
+               failing := (x, y) :: !failing
+             end
+         done
+       with Exit -> ());
+      (match !refused with
+      | Some r -> Error (Budget.Oracle_refused r)
+      | None ->
+        Ok (key, float_of_int !errors /. float_of_int probe_size, !failing))
   in
   let rec loop iters =
-    if iters >= max_iterations then
-      { key = None; iterations = iters; queries = Oracle.num_queries oracle;
-        settled_approximate = false; estimated_error = 1.0 }
-    else if iters > 0 && iters mod probe_every = 0 then begin
-      match probe () with
-      | None ->
-        { key = None; iterations = iters; queries = Oracle.num_queries oracle;
-          settled_approximate = false; estimated_error = 1.0 }
-      | Some (key, err, failing) ->
-        if err <= error_threshold then
-          { key = Some key; iterations = iters;
-            queries = Oracle.num_queries oracle;
-            settled_approximate = true; estimated_error = err }
-        else begin
-          (* failing probes double as constraints, as in AppSAT *)
-          List.iter (fun (x, y) -> Sat_attack.add_io_constraint st x y) failing;
-          dip_step iters
-        end
-    end
-    else dip_step iters
+    match Budget.check_iteration clock iters with
+    | Some r -> finish (Budget.Exhausted r) iters
+    | None ->
+      if iters > 0 && iters mod probe_every = 0 then begin
+        match probe () with
+        | Error outcome -> finish outcome iters
+        | Ok (key, err, failing) ->
+          if err <= error_threshold then
+            let stats =
+              Budget.stats_of clock ~iterations:iters
+                ~queries:(Oracle.num_queries oracle) ~estimated_error:err ()
+            in
+            finish (Budget.Approximate (key, stats)) iters
+          else begin
+            (* failing probes double as constraints, as in AppSAT *)
+            List.iter (fun (x, y) -> Sat_attack.add_io_constraint st x y) failing;
+            dip_step iters
+          end
+      end
+      else dip_step iters
   and dip_step iters =
-    match Solver.solve ~assumptions:[| st.Sat_attack.activate |] st.Sat_attack.solver with
-    | Solver.Sat ->
+    match
+      Budget.solve clock ~assumptions:[| st.Sat_attack.activate |]
+        st.Sat_attack.solver
+    with
+    | Error r -> finish (Budget.Exhausted r) iters
+    | Ok Solver.Sat -> (
       let dip = Sat_attack.extract_key st st.Sat_attack.x_vars in
       Solver.backtrack_to_root st.Sat_attack.solver;
-      let y = Oracle.query oracle dip in
-      Sat_attack.add_io_constraint st dip y;
-      loop (iters + 1)
-    | Solver.Unsat -> (
-      match Solver.solve ~assumptions:[| Lit.negate st.Sat_attack.activate |] st.Sat_attack.solver with
-      | Solver.Sat ->
+      match Budget.query oracle dip with
+      | Error r -> finish (Budget.Oracle_refused r) iters
+      | Ok y ->
+        Sat_attack.add_io_constraint st dip y;
+        loop (iters + 1))
+    | Ok Solver.Unsat -> (
+      match
+        Budget.solve clock
+          ~assumptions:[| Lit.negate st.Sat_attack.activate |]
+          st.Sat_attack.solver
+      with
+      | Error r -> finish (Budget.Exhausted r) iters
+      | Ok Solver.Sat ->
         let key = Sat_attack.extract_key st st.Sat_attack.k1_vars in
         Solver.backtrack_to_root st.Sat_attack.solver;
-        { key = Some key; iterations = iters;
-          queries = Oracle.num_queries oracle;
-          settled_approximate = false; estimated_error = 0.0 }
-      | Solver.Unsat ->
-        { key = None; iterations = iters; queries = Oracle.num_queries oracle;
-          settled_approximate = false; estimated_error = 1.0 })
+        finish (Budget.Exact key) iters
+      | Ok Solver.Unsat -> finish (Budget.Exhausted Budget.Inconsistent) iters)
   in
   loop 0

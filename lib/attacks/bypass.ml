@@ -18,11 +18,10 @@ module Tseitin = Orap_sat.Tseitin
 module Gate = Orap_netlist.Gate
 
 type result = {
+  outcome : N.t Budget.outcome;  (** the patched circuit, when viable *)
   key_used : bool array;
   patches : (bool array * bool array) list;
       (** (input pattern, output correction mask) — one comparator each *)
-  gave_up : bool;  (** disagreement enumeration exceeded the budget *)
-  netlist : N.t option;  (** the patched circuit, when the attack succeeds *)
 }
 
 (** Overhead of the bypass circuitry in 2-input-gate equivalents: an
@@ -40,10 +39,9 @@ let patch_overhead (locked : Locked.t) (r : result) : int =
    keys K1, K2 disagree exactly on the union of their "trap" inputs (for
    point-function locking, one or two patterns).  Enumerate those inputs
    by SAT, query the oracle there, and record the corrections K1 needs.
-   High-corruption locking makes the disagreement set explode past
-   [budget], which is how the attack fails. *)
-let find_disagreements (locked : Locked.t) (oracle : Oracle.t) key key2 ~budget
-    =
+   High-corruption locking makes the disagreement set explode past the
+   enumeration budget, which is how the attack fails. *)
+let find_disagreements (locked : Locked.t) (oracle : Oracle.t) key key2 ~clock =
   let nl = locked.Locked.netlist in
   let nri = locked.Locked.num_regular_inputs in
   let solver = Solver.create () in
@@ -74,35 +72,43 @@ let find_disagreements (locked : Locked.t) (oracle : Oracle.t) key key2 ~budget
   in
   ignore (Solver.add_clause solver (Array.to_list (Array.map Lit.pos diffs)));
   let patches = ref [] in
-  let gave_up = ref false in
-  let budget_left = ref budget in
+  let stopped = ref None in
+  let iters = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    if !budget_left = 0 then begin
-      gave_up := true;
+    match Budget.check_iteration clock !iters with
+    | Some r ->
+      stopped := Some (Budget.Exhausted r);
       continue_ := false
-    end
-    else
-      match Solver.solve solver with
-      | Solver.Unsat -> continue_ := false
-      | Solver.Sat ->
-        decr budget_left;
+    | None -> (
+      match Budget.solve clock solver with
+      | Error r ->
+        stopped := Some (Budget.Exhausted r);
+        continue_ := false
+      | Ok Solver.Unsat -> continue_ := false
+      | Ok Solver.Sat -> (
+        incr iters;
         let x = Array.map (fun v -> Solver.model_value solver v) x_vars in
         Solver.backtrack_to_root solver;
         (* the attacker checks x against the real oracle *)
-        let y_oracle = Oracle.query oracle x in
-        let y_wrong = Locked.eval locked ~key ~inputs:x in
-        let mask = Array.map2 (fun a b -> a <> b) y_wrong y_oracle in
-        if Array.exists (fun b -> b) mask then patches := (x, mask) :: !patches;
-        (* block this input *)
-        ignore
-          (Solver.add_clause solver
-             (Array.to_list
-                (Array.mapi
-                   (fun i v -> if x.(i) then Lit.neg v else Lit.pos v)
-                   x_vars)))
+        match Budget.query oracle x with
+        | Error r ->
+          stopped := Some (Budget.Oracle_refused r);
+          continue_ := false
+        | Ok y_oracle ->
+          let y_wrong = Locked.eval locked ~key ~inputs:x in
+          let mask = Array.map2 (fun a b -> a <> b) y_wrong y_oracle in
+          if Array.exists (fun b -> b) mask then
+            patches := (x, mask) :: !patches;
+          (* block this input *)
+          ignore
+            (Solver.add_clause solver
+               (Array.to_list
+                  (Array.mapi
+                     (fun i v -> if x.(i) then Lit.neg v else Lit.pos v)
+                     x_vars)))))
   done;
-  (List.rev !patches, !gave_up)
+  (List.rev !patches, !stopped)
 
 (* patch the keyed netlist with comparators *)
 let build_patched (locked : Locked.t) key patches : N.t =
@@ -160,18 +166,31 @@ let build_patched (locked : Locked.t) key patches : N.t =
     (N.outputs nl);
   N.Builder.finish b
 
-(** Run the attack.  [budget] bounds the number of disagreeing inputs the
-    attacker is willing to patch (the attack is only viable when the
-    disagreement set is tiny). *)
-let run ?(seed = 97) ?(budget = 32) (locked : Locked.t) (oracle : Oracle.t) :
-    result =
+(** Run the attack.  The budget's iteration cap bounds the number of
+    disagreeing inputs the attacker is willing to enumerate (the attack is
+    only viable when the disagreement set is tiny). *)
+let run ?(budget = { Budget.default with Budget.max_iterations = 32 })
+    ?max_patches ?(seed = 97) (locked : Locked.t) (oracle : Oracle.t) : result =
+  let budget =
+    match max_patches with
+    | Some n -> { budget with Budget.max_iterations = n }
+    | None -> budget
+  in
+  let clock = Budget.start budget in
   let rng = Orap_sim.Prng.create seed in
   let ksz = Locked.key_size locked in
   let key = Orap_sim.Prng.bool_array rng ksz in
   let key2 = Orap_sim.Prng.bool_array rng ksz in
   let key2 = if key2 = key then Array.mapi (fun i b -> if i = 0 then not b else b) key2 else key2 in
-  let patches, gave_up = find_disagreements locked oracle key key2 ~budget in
-  let netlist =
-    if gave_up then None else Some (build_patched locked key patches)
+  let patches, stopped = find_disagreements locked oracle key key2 ~clock in
+  let outcome =
+    match stopped with
+    | Some o -> o
+    | None ->
+      let stats =
+        Budget.stats_of clock ~iterations:(List.length patches)
+          ~queries:(Oracle.num_queries oracle) ()
+      in
+      Budget.Approximate (build_patched locked key patches, stats)
   in
-  { key_used = key; patches; gave_up; netlist }
+  { outcome; key_used = key; patches }

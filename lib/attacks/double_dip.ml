@@ -12,14 +12,20 @@ module Lit = Orap_sat.Lit
 module Tseitin = Orap_sat.Tseitin
 
 type result = {
-  key : bool array option;
+  outcome : bool array Budget.outcome;
   iterations : int;
   queries : int;
-  proved : bool;
+  elapsed_s : float;
 }
 
-let run ?(max_iterations = 128) (locked : Locked.t) (oracle : Oracle.t) :
-    result =
+let run ?(budget = { Budget.default with Budget.max_iterations = 128 })
+    ?max_iterations (locked : Locked.t) (oracle : Oracle.t) : result =
+  let budget =
+    match max_iterations with
+    | Some n -> { budget with Budget.max_iterations = n }
+    | None -> budget
+  in
+  let clock = Budget.start budget in
   let solver = Solver.create () in
   let nl = locked.Locked.netlist in
   let nri = locked.Locked.num_regular_inputs in
@@ -72,26 +78,31 @@ let run ?(max_iterations = 128) (locked : Locked.t) (oracle : Oracle.t) :
           (Tseitin.output_vars nl nodes))
       keys
   in
+  let finish outcome iters =
+    { outcome; iterations = iters; queries = Oracle.num_queries oracle;
+      elapsed_s = Budget.elapsed_s clock }
+  in
   let rec loop iters =
-    if iters >= max_iterations then
-      { key = None; iterations = iters; queries = Oracle.num_queries oracle; proved = false }
-    else
-      match Solver.solve ~assumptions:[| activate |] solver with
-      | Solver.Sat ->
+    match Budget.check_iteration clock iters with
+    | Some r -> finish (Budget.Exhausted r) iters
+    | None -> (
+      match Budget.solve clock ~assumptions:[| activate |] solver with
+      | Error r -> finish (Budget.Exhausted r) iters
+      | Ok Solver.Sat -> (
         let dip = Array.map (fun v -> Solver.model_value solver v) x_vars in
         Solver.backtrack_to_root solver;
-        let y = Oracle.query oracle dip in
-        constrain dip y;
-        loop (iters + 1)
-      | Solver.Unsat -> (
-        match Solver.solve ~assumptions:[| Lit.negate activate |] solver with
-        | Solver.Sat ->
+        match Budget.query oracle dip with
+        | Error r -> finish (Budget.Oracle_refused r) iters
+        | Ok y ->
+          constrain dip y;
+          loop (iters + 1))
+      | Ok Solver.Unsat -> (
+        match Budget.solve clock ~assumptions:[| Lit.negate activate |] solver with
+        | Error r -> finish (Budget.Exhausted r) iters
+        | Ok Solver.Sat ->
           let key = Array.map (fun v -> Solver.model_value solver v) keys.(0) in
           Solver.backtrack_to_root solver;
-          { key = Some key; iterations = iters;
-            queries = Oracle.num_queries oracle; proved = true }
-        | Solver.Unsat ->
-          { key = None; iterations = iters;
-            queries = Oracle.num_queries oracle; proved = false })
+          finish (Budget.Exact key) iters
+        | Ok Solver.Unsat -> finish (Budget.Exhausted Budget.Inconsistent) iters))
   in
   loop 0

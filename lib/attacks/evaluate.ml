@@ -25,6 +25,11 @@ let of_key ?(words = 32) (locked : Locked.t) (key : bool array option) :
       hd_vs_original = hd;
     }
 
+(** Evaluate a structured attack outcome's recovered key (if any). *)
+let of_outcome ?words (locked : Locked.t) (o : bool array Budget.outcome) :
+    verdict =
+  of_key ?words locked (Budget.recovered o)
+
 let to_string v =
   if not v.recovered then "no key recovered"
   else if v.equivalent then

@@ -13,7 +13,7 @@ module Oracle = Orap_core.Oracle
 module Prng = Orap_sim.Prng
 
 type result = {
-  key : bool array;
+  outcome : bool array Budget.outcome;
   mismatches : int;  (** remaining mismatching output bits on the sample *)
   flips : int;
   queries : int;
@@ -59,22 +59,44 @@ let climb (locked : Locked.t) pairs ~seed ~restarts =
   done;
   (!best_key, !best_cost, !flips)
 
+(* the climb's outcome: always best-effort (sample-based, no proof) *)
+let outcome_of clock locked key ~mismatches ~pairs ~queries =
+  let bits =
+    List.length pairs * Array.length (Orap_netlist.Netlist.outputs locked.Locked.netlist)
+  in
+  let err = if bits = 0 then 1.0 else float_of_int mismatches /. float_of_int bits in
+  Budget.Approximate
+    (key, Budget.stats_of clock ~iterations:0 ~queries ~estimated_error:err ())
+
 (** Attack from live oracle queries on random patterns. *)
-let run ?(seed = 51) ?(sample = 48) ?(restarts = 3) (locked : Locked.t)
-    (oracle : Oracle.t) : result =
+let run ?(budget = Budget.default) ?(seed = 51) ?(sample = 48) ?(restarts = 3)
+    (locked : Locked.t) (oracle : Oracle.t) : result =
+  let clock = Budget.start budget in
   let rng = Prng.create seed in
   let nri = locked.Locked.num_regular_inputs in
-  let pairs =
-    List.init sample (fun _ ->
-        let x = Prng.bool_array rng nri in
-        (x, Oracle.query oracle x))
+  let rec collect n acc =
+    if n = 0 then Ok (List.rev acc)
+    else
+      let x = Prng.bool_array rng nri in
+      match Budget.query oracle x with
+      | Error r -> Error r
+      | Ok y -> collect (n - 1) ((x, y) :: acc)
   in
-  let key, mismatches, flips = climb locked pairs ~seed:(seed + 1) ~restarts in
-  { key; mismatches; flips; queries = Oracle.num_queries oracle }
+  match collect sample [] with
+  | Error r ->
+    { outcome = Budget.Oracle_refused r; mismatches = max_int; flips = 0;
+      queries = Oracle.num_queries oracle }
+  | Ok pairs ->
+    let key, mismatches, flips = climb locked pairs ~seed:(seed + 1) ~restarts in
+    let queries = Oracle.num_queries oracle in
+    { outcome = outcome_of clock locked key ~mismatches ~pairs ~queries;
+      mismatches; flips; queries }
 
 (** Attack from given test patterns and their responses (footnote 1): under
     OraP these are locked-circuit responses. *)
 let run_on_responses ?(seed = 51) ?(restarts = 3) (locked : Locked.t)
     (pairs : (bool array * bool array) list) : result =
+  let clock = Budget.start Budget.default in
   let key, mismatches, flips = climb locked pairs ~seed ~restarts in
-  { key; mismatches; flips; queries = 0 }
+  { outcome = outcome_of clock locked key ~mismatches ~pairs ~queries:0;
+    mismatches; flips; queries = 0 }

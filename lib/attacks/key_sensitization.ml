@@ -15,7 +15,7 @@ module Tseitin = Orap_sat.Tseitin
 module Prng = Orap_sim.Prng
 
 type result = {
-  key : bool array;
+  outcome : bool array Budget.outcome;
   sensitized_bits : int;  (** bits for which a sensitising pattern existed *)
   queries : int;
 }
@@ -59,27 +59,52 @@ let sensitize (locked : Locked.t) j : (bool array * bool array) option =
     let k_rest = Array.map (fun v -> Solver.model_value solver v) k_vars in
     Some (x, k_rest)
 
-let run ?(seed = 61) (locked : Locked.t) (oracle : Oracle.t) : result =
+let run ?(budget = Budget.default) ?(seed = 61) (locked : Locked.t)
+    (oracle : Oracle.t) : result =
+  let clock = Budget.start budget in
   let ksz = Locked.key_size locked in
   let rng = Prng.create seed in
   let key = Array.init ksz (fun _ -> Prng.bool rng) in
   let sensitized = ref 0 in
-  for j = 0 to ksz - 1 do
-    match sensitize locked j with
-    | None -> ()
-    | Some (x, k_rest) ->
-      incr sensitized;
-      let y = Oracle.query oracle x in
-      (* choose the bit value whose simulation matches the oracle *)
-      let with_bit b =
-        let k = Array.copy k_rest in
-        k.(j) <- b;
-        Locked.eval locked ~key:k ~inputs:x
-      in
-      if with_bit true = y then key.(j) <- true
-      else if with_bit false = y then key.(j) <- false
-      else
-        (* interference: neither matches — keep the random guess *)
-        ()
-  done;
-  { key; sensitized_bits = !sensitized; queries = Oracle.num_queries oracle }
+  let stopped = ref None in
+  (try
+     for j = 0 to ksz - 1 do
+       (match Budget.check_iteration clock j with
+       | Some r ->
+         stopped := Some (Budget.Exhausted r);
+         raise Exit
+       | None -> ());
+       match sensitize locked j with
+       | None -> ()
+       | Some (x, k_rest) -> (
+         incr sensitized;
+         match Budget.query oracle x with
+         | Error r ->
+           stopped := Some (Budget.Oracle_refused r);
+           raise Exit
+         | Ok y ->
+           (* choose the bit value whose simulation matches the oracle *)
+           let with_bit b =
+             let k = Array.copy k_rest in
+             k.(j) <- b;
+             Locked.eval locked ~key:k ~inputs:x
+           in
+           if with_bit true = y then key.(j) <- true
+           else if with_bit false = y then key.(j) <- false
+           else
+             (* interference: neither matches — keep the random guess *)
+             ())
+     done
+   with Exit -> ());
+  let queries = Oracle.num_queries oracle in
+  let outcome =
+    match !stopped with
+    | Some o -> o
+    | None ->
+      (* unsensitised bits stay random guesses: estimate the miss rate *)
+      let err = float_of_int (ksz - !sensitized) /. float_of_int (max 1 ksz) in
+      Budget.Approximate
+        (key,
+         Budget.stats_of clock ~iterations:ksz ~queries ~estimated_error:err ())
+  in
+  { outcome; sensitized_bits = !sensitized; queries }

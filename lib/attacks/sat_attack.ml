@@ -17,10 +17,10 @@ module Lit = Orap_sat.Lit
 module Tseitin = Orap_sat.Tseitin
 
 type result = {
-  key : bool array option;  (** recovered key, [None] when the attack dies *)
+  outcome : bool array Budget.outcome;
   iterations : int;
   queries : int;
-  proved : bool;  (** the miter became UNSAT (claimed-exact key) *)
+  elapsed_s : float;
 }
 
 type state = {
@@ -94,42 +94,90 @@ let add_io_constraint (st : state) (dip : bool array) (y : bool array) =
 let extract_key (st : state) vars =
   Array.map (fun v -> Solver.model_value st.solver v) vars
 
-(** Run the attack against [oracle].  [max_iterations] bounds the DIP loop
-    (the attack reports failure when exceeded). *)
-let run ?(max_iterations = 256) (locked : Locked.t) (oracle : Oracle.t) :
+(** Run the attack against [oracle] under [budget].  [max_iterations]
+    overrides the budget's DIP-loop cap.
+
+    [validate] > 0 audits an [Exact] proof with that many fresh random
+    oracle queries before claiming it: the miter proof is only sound
+    relative to the oracle's answers, so against a noisy or otherwise
+    faulty oracle the "proof" can be hollow.  A probe mismatch downgrades
+    the claim to [Approximate] carrying the measured error; a refusal
+    mid-probe surfaces as [Oracle_refused].  Validation queries are real
+    oracle queries and burn query budget. *)
+let run ?(budget = Budget.default) ?max_iterations ?(validate = 0)
+    ?(validation_seed = 11213) (locked : Locked.t) (oracle : Oracle.t) :
     result =
+  let budget =
+    match max_iterations with
+    | Some n -> { budget with Budget.max_iterations = n }
+    | None -> budget
+  in
+  let clock = Budget.start budget in
   let st = make_state locked in
+  let finish outcome iters =
+    { outcome; iterations = iters; queries = Oracle.num_queries oracle;
+      elapsed_s = Budget.elapsed_s clock }
+  in
+  let audit_proof key iters =
+    if validate <= 0 then Budget.Exact key
+    else begin
+      let rng = Orap_sim.Prng.create validation_seed in
+      let nri = locked.Locked.num_regular_inputs in
+      let mismatching = ref 0 in
+      let total_bits = ref 0 in
+      let stopped = ref None in
+      (try
+         for _ = 1 to validate do
+           let x = Orap_sim.Prng.bool_array rng nri in
+           match Budget.query oracle x with
+           | Error r ->
+             stopped := Some r;
+             raise Exit
+           | Ok y ->
+             let y' = Locked.eval locked ~key ~inputs:x in
+             Array.iteri (fun j b -> if b <> y'.(j) then incr mismatching) y;
+             total_bits := !total_bits + Array.length y
+         done
+       with Exit -> ());
+      match !stopped with
+      | Some r -> Budget.Oracle_refused r
+      | None ->
+        if !mismatching = 0 then Budget.Exact key
+        else
+          let err = float_of_int !mismatching /. float_of_int !total_bits in
+          Budget.Approximate
+            ( key,
+              Budget.stats_of clock ~iterations:iters
+                ~queries:(Oracle.num_queries oracle) ~estimated_error:err () )
+    end
+  in
   let rec loop iters =
-    if iters >= max_iterations then
-      { key = None; iterations = iters; queries = Oracle.num_queries oracle; proved = false }
-    else
-      match Solver.solve ~assumptions:[| st.activate |] st.solver with
-      | Solver.Sat ->
+    match Budget.check_iteration clock iters with
+    | Some r -> finish (Budget.Exhausted r) iters
+    | None -> (
+      match Budget.solve clock ~assumptions:[| st.activate |] st.solver with
+      | Error r -> finish (Budget.Exhausted r) iters
+      | Ok Solver.Sat -> (
         let dip = extract_key st st.x_vars in
         Solver.backtrack_to_root st.solver;
-        let y = Oracle.query oracle dip in
-        add_io_constraint st dip y;
-        loop (iters + 1)
-      | Solver.Unsat -> (
+        match Budget.query oracle dip with
+        | Error r -> finish (Budget.Oracle_refused r) iters
+        | Ok y ->
+          add_io_constraint st dip y;
+          loop (iters + 1))
+      | Ok Solver.Unsat -> (
         (* miter exhausted: extract any constraint-consistent key *)
-        match Solver.solve ~assumptions:[| Lit.negate st.activate |] st.solver with
-        | Solver.Sat ->
+        match
+          Budget.solve clock ~assumptions:[| Lit.negate st.activate |] st.solver
+        with
+        | Error r -> finish (Budget.Exhausted r) iters
+        | Ok Solver.Sat ->
           let key = extract_key st st.k1_vars in
           Solver.backtrack_to_root st.solver;
-          {
-            key = Some key;
-            iterations = iters;
-            queries = Oracle.num_queries oracle;
-            proved = true;
-          }
-        | Solver.Unsat ->
+          finish (audit_proof key iters) iters
+        | Ok Solver.Unsat ->
           (* the oracle's answers were inconsistent with EVERY key — the
              signature of a locked (OraP-protected) oracle *)
-          {
-            key = None;
-            iterations = iters;
-            queries = Oracle.num_queries oracle;
-            proved = false;
-          })
+          finish (Budget.Exhausted Budget.Inconsistent) iters))
   in
   loop 0

@@ -22,12 +22,25 @@ let query t inputs =
 
 let num_queries t = t.queries
 
+(* Every oracle validates the query width at its boundary so malformed
+   attack code fails with a clear message instead of deep inside
+   [Locked.eval]. *)
+let check_width ~who ~expected inputs =
+  let got = Array.length inputs in
+  if got <> expected then
+    invalid_arg
+      (Printf.sprintf "%s: expected input width %d, got %d" who expected got)
+
 (** Idealised oracle: direct evaluation of the locked circuit under its
     correct key.  This is what an *unprotected* design leaks through scan
     (and what attack papers assume). *)
 let functional (locked : Locked.t) : t =
+  let width = locked.Locked.num_regular_inputs in
   {
-    query = (fun inputs -> Locked.eval locked ~key:locked.Locked.correct_key ~inputs);
+    query =
+      (fun inputs ->
+        check_width ~who:"Oracle.functional" ~expected:width inputs;
+        Locked.eval locked ~key:locked.Locked.correct_key ~inputs);
     queries = 0;
     description = "functional oracle (unprotected scan access)";
   }
@@ -42,8 +55,7 @@ let scan_chip (chip : Chip.t) : t =
   let n_ext = Orap.num_ext_inputs d in
   let n_ffs = Orap.num_ffs d in
   let q inputs =
-    if Array.length inputs <> n_ext + n_ffs then
-      invalid_arg "Oracle.scan_chip: input width";
+    check_width ~who:"Oracle.scan_chip" ~expected:(n_ext + n_ffs) inputs;
     let ext = Array.sub inputs 0 n_ext in
     let state = Array.sub inputs n_ext n_ffs in
     let ext_outs, captured = Chip.scan_test chip ~state ~ext_inputs:ext in
@@ -54,8 +66,12 @@ let scan_chip (chip : Chip.t) : t =
 (** Oracle built from a raw key guess — used to evaluate what an attack's
     recovered key is actually worth. *)
 let with_key (locked : Locked.t) (key : bool array) : t =
+  let width = locked.Locked.num_regular_inputs in
   {
-    query = (fun inputs -> Locked.eval locked ~key ~inputs);
+    query =
+      (fun inputs ->
+        check_width ~who:"Oracle.with_key" ~expected:width inputs;
+        Locked.eval locked ~key ~inputs);
     queries = 0;
     description = "keyed evaluation";
   }

@@ -2,24 +2,29 @@
 
 type align = L | R
 
-type t = { title : string; header : string list; aligns : align list; mutable rows : string list list }
+(* rows are stored newest-first so [add_row] is O(1); [render] reverses
+   once *)
+type t = { title : string; header : string list; aligns : align list; mutable rev_rows : string list list }
 
 let create ~title ~header ~aligns =
   if List.length header <> List.length aligns then invalid_arg "Report.create";
-  { title; header; aligns; rows = [] }
+  { title; header; aligns; rev_rows = [] }
 
 let add_row t row =
   if List.length row <> List.length t.header then invalid_arg "Report.add_row";
-  t.rows <- t.rows @ [ row ]
+  t.rev_rows <- row :: t.rev_rows
+
+let num_rows t = List.length t.rev_rows
 
 let render t : string =
+  let rows = List.rev t.rev_rows in
   let cols = List.length t.header in
   let widths = Array.make cols 0 in
   let measure row =
     List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
   in
   measure t.header;
-  List.iter measure t.rows;
+  List.iter measure rows;
   let pad align width s =
     let d = width - String.length s in
     match align with
@@ -44,7 +49,7 @@ let render t : string =
   Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
   Buffer.add_string buf (line t.header ^ "\n");
   Buffer.add_string buf (sep ^ "\n");
-  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) t.rows;
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) rows;
   Buffer.contents buf
 
 let print t = print_string (render t)

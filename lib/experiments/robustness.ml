@@ -1,0 +1,253 @@
+(** Robustness sweep: oracle-based attacks vs. the imperfect oracles of the
+    paper's threat model.
+
+    The classic attack literature assumes a perfect, tireless oracle; the
+    paper's point is that the oracle is the weak element — protected
+    (OraP answers locked), partially compromised (Trojan scenarios (c)/(e)
+    are intermittent), or simply hard to reach (noisy probes, rate-limited
+    chip access).  This table sweeps noise level × query budget × attack
+    and reports recovery rate, the Hamming distance of the recovered key
+    and how each run ended, using the structured outcomes of
+    {!Orap_attacks.Budget}. *)
+
+module Locked = Orap_locking.Locked
+module Orap = Orap_core.Orap
+module Chip = Orap_core.Chip
+module Oracle = Orap_core.Oracle
+module Faulty = Orap_core.Faulty_oracle
+module Budget = Orap_attacks.Budget
+module Evaluate = Orap_attacks.Evaluate
+module Sat_attack = Orap_attacks.Sat_attack
+module Appsat = Orap_attacks.Appsat
+module Double_dip = Orap_attacks.Double_dip
+module Hill_climb = Orap_attacks.Hill_climb
+module Key_sensitization = Orap_attacks.Key_sensitization
+
+type attack_kind = Sat | Appsat_k | Double_dip_k | Hill | Sensitize
+
+let attack_name = function
+  | Sat -> "SAT attack"
+  | Appsat_k -> "AppSAT"
+  | Double_dip_k -> "Double DIP"
+  | Hill -> "Hill climbing"
+  | Sensitize -> "Key sensitization"
+
+let all_attacks = [ Sat; Appsat_k; Double_dip_k; Hill; Sensitize ]
+
+type oracle_kind = Functional | Orap_scan
+
+type params = {
+  seed : int;
+  num_gates : int;
+  key_size : int;
+  oracle : oracle_kind;  (** base oracle under the fault stack *)
+  noise_levels : float list;  (** per-query bit-flip probabilities *)
+  query_budgets : int list;  (** 0 = unlimited *)
+  trials : int;  (** noise seeds per cell *)
+  attacks : attack_kind list;
+  max_iterations : int;
+  wall_clock_s : float;  (** per-attack deadline, seconds *)
+  max_conflicts : int option;  (** cumulative solver-conflict budget *)
+  retry_votes : int;  (** >1 enables the majority-vote repair wrapper *)
+  validate_queries : int;
+      (** post-proof audit queries for the SAT attack's [Exact] claims *)
+}
+
+let default_params =
+  {
+    seed = 1;
+    num_gates = 300;
+    key_size = 16;
+    oracle = Functional;
+    noise_levels = [ 0.0; 0.02; 0.10 ];
+    query_budgets = [ 0; 2000 ];
+    trials = 3;
+    attacks = all_attacks;
+    max_iterations = 256;
+    wall_clock_s = 10.0;
+    max_conflicts = None;
+    retry_votes = 1;
+    validate_queries = 32;
+  }
+
+type row = {
+  attack : string;
+  noise : float;
+  query_budget : int;
+  trials : int;
+  equivalent : int;  (** trials ending in a functionally correct key *)
+  exact_proofs : int;  (** trials proving [Exact] a genuinely equivalent key *)
+  mean_key_hd_pct : float option;  (** over trials that produced a key *)
+  mean_queries : float;
+  mean_elapsed_s : float;
+  outcomes : string;  (** aggregated outcome tags, e.g. "2 exact, 1 refused" *)
+}
+
+(* short tag for aggregation; [genuine] is the harness's ground-truth
+   equivalence check — an [Exact] whose key is functionally wrong is a
+   proof relative to a lying oracle, which only the harness can unmask *)
+let outcome_tag ~genuine = function
+  | Budget.Exact _ -> if genuine then "exact" else "false-proof"
+  | Budget.Approximate _ -> "approx"
+  | Budget.Exhausted (Budget.Iterations _) -> "iter-cap"
+  | Budget.Exhausted (Budget.Wall_clock _) -> "timeout"
+  | Budget.Exhausted (Budget.Conflicts _) -> "conflict-cap"
+  | Budget.Exhausted Budget.Inconsistent -> "inconsistent"
+  | Budget.Exhausted (Budget.Refusal _) -> "refused"
+  | Budget.Exhausted (Budget.No_progress _) -> "no-progress"
+  | Budget.Oracle_refused _ -> "refused"
+
+let summarize_tags tags =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun tag ->
+      match Hashtbl.find_opt tbl tag with
+      | Some n -> Hashtbl.replace tbl tag (n + 1)
+      | None ->
+        Hashtbl.add tbl tag 1;
+        order := tag :: !order)
+    tags;
+  String.concat ", "
+    (List.rev_map
+       (fun tag -> Printf.sprintf "%d %s" (Hashtbl.find tbl tag) tag)
+       !order)
+
+(* key-bit Hamming distance, percent *)
+let key_hd_pct correct key =
+  let diff = ref 0 in
+  Array.iteri (fun i b -> if b <> key.(i) then incr diff) correct;
+  100.0 *. float_of_int !diff /. float_of_int (max 1 (Array.length correct))
+
+let base_oracle params (fx : Security.fixture) = function
+  | Functional -> Oracle.functional fx.Security.locked
+  | Orap_scan ->
+    let chip = Chip.create fx.Security.basic in
+    Chip.unlock chip;
+    ignore params;
+    Oracle.scan_chip chip
+
+(* the fault stack, innermost first: chip -> measurement noise -> access
+   rate limit -> optional majority-vote repair (each vote is a metered
+   physical query, so retries burn budget — that is the tradeoff) *)
+let build_oracle params fx ~noise ~query_budget ~trial_seed =
+  let o = base_oracle params fx params.oracle in
+  let o = if noise > 0.0 then Faulty.bit_flip ~seed:trial_seed ~p:noise o else o in
+  let o = if query_budget > 0 then Faulty.query_budget ~limit:query_budget o else o in
+  if params.retry_votes > 1 then Faulty.retry ~votes:params.retry_votes o else o
+
+let run_attack kind ~budget ~validate locked oracle :
+    bool array Budget.outcome * int =
+  match kind with
+  | Sat ->
+    let r = Sat_attack.run ~budget ~validate locked oracle in
+    (r.Sat_attack.outcome, r.Sat_attack.queries)
+  | Appsat_k ->
+    let r = Appsat.run ~budget locked oracle in
+    (r.Appsat.outcome, r.Appsat.queries)
+  | Double_dip_k ->
+    let r = Double_dip.run ~budget locked oracle in
+    (r.Double_dip.outcome, r.Double_dip.queries)
+  | Hill ->
+    let r = Hill_climb.run ~budget locked oracle in
+    (r.Hill_climb.outcome, r.Hill_climb.queries)
+  | Sensitize ->
+    let r = Key_sensitization.run ~budget locked oracle in
+    (r.Key_sensitization.outcome, r.Key_sensitization.queries)
+
+let run ?(params = default_params) () : row list =
+  let fx =
+    Security.make_fixture ~seed:params.seed ~num_gates:params.num_gates
+      ~key_size:params.key_size ()
+  in
+  let locked = fx.Security.locked in
+  let budget =
+    Budget.make ~max_iterations:params.max_iterations
+      ~wall_clock_s:params.wall_clock_s
+      ?max_conflicts:params.max_conflicts ()
+  in
+  List.concat_map
+    (fun kind ->
+      List.concat_map
+        (fun noise ->
+          List.map
+            (fun query_budget ->
+              let tags = ref [] in
+              let equivalent = ref 0 in
+              let exact_proofs = ref 0 in
+              let hds = ref [] in
+              let queries = ref 0 in
+              let elapsed = ref 0.0 in
+              for trial = 0 to params.trials - 1 do
+                let trial_seed = (params.seed * 1000) + trial in
+                let oracle =
+                  build_oracle params fx ~noise ~query_budget ~trial_seed
+                in
+                let t0 = Unix.gettimeofday () in
+                let outcome, q =
+                  run_attack kind ~budget ~validate:params.validate_queries
+                    locked oracle
+                in
+                elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
+                queries := !queries + q;
+                let genuine =
+                  match Budget.recovered outcome with
+                  | None -> false
+                  | Some key ->
+                    hds := key_hd_pct locked.Locked.correct_key key :: !hds;
+                    (Evaluate.of_key locked (Some key)).Evaluate.equivalent
+                in
+                if genuine then incr equivalent;
+                (match outcome with
+                | Budget.Exact _ when genuine -> incr exact_proofs
+                | _ -> ());
+                tags := outcome_tag ~genuine outcome :: !tags
+              done;
+              let n = float_of_int params.trials in
+              {
+                attack = attack_name kind;
+                noise;
+                query_budget;
+                trials = params.trials;
+                equivalent = !equivalent;
+                exact_proofs = !exact_proofs;
+                mean_key_hd_pct =
+                  (match !hds with
+                  | [] -> None
+                  | l ->
+                    Some
+                      (List.fold_left ( +. ) 0.0 l
+                      /. float_of_int (List.length l)));
+                mean_queries = float_of_int !queries /. n;
+                mean_elapsed_s = !elapsed /. n;
+                outcomes = summarize_tags (List.rev !tags);
+              })
+            params.query_budgets)
+        params.noise_levels)
+    params.attacks
+
+let report (rows : row list) : Report.t =
+  let t =
+    Report.create
+      ~title:"Robustness: attacks vs. noisy / rate-limited oracles"
+      ~header:
+        [ "Attack"; "Noise"; "Q-budget"; "Recovered"; "Proved"; "Key HD (%)";
+          "Queries"; "Time (s)"; "Outcomes" ]
+      ~aligns:
+        [ Report.L; Report.R; Report.R; Report.R; Report.R; Report.R;
+          Report.R; Report.R; Report.L ]
+  in
+  List.iter
+    (fun r ->
+      Report.add_row t
+        [ r.attack;
+          Printf.sprintf "%.2f" r.noise;
+          (if r.query_budget = 0 then "inf" else string_of_int r.query_budget);
+          Printf.sprintf "%d/%d" r.equivalent r.trials;
+          Report.d r.exact_proofs;
+          (match r.mean_key_hd_pct with None -> "-" | Some h -> Report.f1 h);
+          Report.f1 r.mean_queries;
+          Report.f2 r.mean_elapsed_s;
+          r.outcomes ])
+    rows;
+  t

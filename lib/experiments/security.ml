@@ -181,35 +181,35 @@ let attack_matrix ?(max_iterations = 128) (fx : fixture) : attack_row list =
       let r = Sat_attack.run ~max_iterations fx.locked o in
       rows :=
         { attack = "SAT attack"; oracle_kind = oracle_name okind;
-          verdict = Evaluate.of_key fx.locked r.Sat_attack.key;
+          verdict = Evaluate.of_outcome fx.locked r.Sat_attack.outcome;
           iterations = r.Sat_attack.iterations; queries = r.Sat_attack.queries }
         :: !rows;
       let o = mk_oracle okind in
       let r = Appsat.run ~max_iterations fx.locked o in
       rows :=
         { attack = "AppSAT"; oracle_kind = oracle_name okind;
-          verdict = Evaluate.of_key fx.locked r.Appsat.key;
+          verdict = Evaluate.of_outcome fx.locked r.Appsat.outcome;
           iterations = r.Appsat.iterations; queries = r.Appsat.queries }
         :: !rows;
       let o = mk_oracle okind in
       let r = Double_dip.run ~max_iterations fx.locked o in
       rows :=
         { attack = "Double DIP"; oracle_kind = oracle_name okind;
-          verdict = Evaluate.of_key fx.locked r.Double_dip.key;
+          verdict = Evaluate.of_outcome fx.locked r.Double_dip.outcome;
           iterations = r.Double_dip.iterations; queries = r.Double_dip.queries }
         :: !rows;
       let o = mk_oracle okind in
       let r = Hill_climb.run fx.locked o in
       rows :=
         { attack = "Hill climbing"; oracle_kind = oracle_name okind;
-          verdict = Evaluate.of_key fx.locked (Some r.Hill_climb.key);
+          verdict = Evaluate.of_outcome fx.locked r.Hill_climb.outcome;
           iterations = r.Hill_climb.flips; queries = r.Hill_climb.queries }
         :: !rows;
       let o = mk_oracle okind in
       let r = Key_sensitization.run fx.locked o in
       rows :=
         { attack = "Key sensitization"; oracle_kind = oracle_name okind;
-          verdict = Evaluate.of_key fx.locked (Some r.Key_sensitization.key);
+          verdict = Evaluate.of_outcome fx.locked r.Key_sensitization.outcome;
           iterations = r.Key_sensitization.sensitized_bits;
           queries = r.Key_sensitization.queries }
         :: !rows)
@@ -247,4 +247,4 @@ let hill_climb_on_test_responses (fx : fixture) : Evaluate.verdict =
         (x, Oracle.query oracle x))
   in
   let r = Hill_climb.run_on_responses fx.locked pairs in
-  Evaluate.of_key fx.locked (Some r.Hill_climb.key)
+  Evaluate.of_outcome fx.locked r.Hill_climb.outcome

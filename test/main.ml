@@ -12,6 +12,7 @@ let () =
       Test_locking.suite;
       Test_core.suite;
       Test_attacks.suite;
+      Test_faulty.suite;
       Test_experiments.suite;
       Test_edges.suite;
       Test_attacks2.suite;

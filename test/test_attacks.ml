@@ -10,6 +10,7 @@ module Double_dip = Orap_attacks.Double_dip
 module Hill_climb = Orap_attacks.Hill_climb
 module Key_sensitization = Orap_attacks.Key_sensitization
 module Evaluate = Orap_attacks.Evaluate
+module Budget = Orap_attacks.Budget
 
 let base = random_netlist ~inputs:20 ~outputs:14 ~gates:180 91
 
@@ -26,21 +27,22 @@ let orap_oracle lk =
 let test_sat_beats_random_ll () =
   let lk = Orap_locking.Random_ll.lock base ~key_size:14 in
   let r = Sat_attack.run lk (Oracle.functional lk) in
-  let v = Evaluate.of_key lk r.Sat_attack.key in
+  let v = Evaluate.of_outcome lk r.Sat_attack.outcome in
   check Alcotest.bool "equivalent key" true v.Evaluate.equivalent;
-  check Alcotest.bool "proved" true r.Sat_attack.proved;
+  check Alcotest.bool "proved" true
+    (match r.Sat_attack.outcome with Budget.Exact _ -> true | _ -> false);
   check Alcotest.bool "few DIPs" true (r.Sat_attack.iterations < 40)
 
 let test_sat_beats_weighted () =
   let lk = Orap_locking.Weighted.lock base ~key_size:15 ~ctrl_inputs:3 in
   let r = Sat_attack.run lk (Oracle.functional lk) in
-  let v = Evaluate.of_key lk r.Sat_attack.key in
+  let v = Evaluate.of_outcome lk r.Sat_attack.outcome in
   check Alcotest.bool "equivalent key" true v.Evaluate.equivalent
 
 let test_sat_fails_behind_orap () =
   let lk = Orap_locking.Weighted.lock base ~key_size:15 ~ctrl_inputs:3 in
   let r = Sat_attack.run lk (orap_oracle lk) in
-  let v = Evaluate.of_key lk r.Sat_attack.key in
+  let v = Evaluate.of_outcome lk r.Sat_attack.outcome in
   check Alcotest.bool "no functional key" false v.Evaluate.equivalent
 
 let test_sat_query_accounting () =
@@ -52,7 +54,10 @@ let test_sat_query_accounting () =
 let test_sat_iteration_cap () =
   let lk = Orap_locking.Sarlock.lock base ~key_size:14 in
   let r = Sat_attack.run ~max_iterations:20 lk (Oracle.functional lk) in
-  check Alcotest.bool "cap hit" true (r.Sat_attack.key = None);
+  check Alcotest.bool "cap hit" true
+    (match r.Sat_attack.outcome with
+    | Budget.Exhausted (Budget.Iterations 20) -> true
+    | _ -> false);
   check Alcotest.int "stopped at cap" 20 r.Sat_attack.iterations
 
 let test_sarlock_one_key_per_dip () =
@@ -60,7 +65,7 @@ let test_sarlock_one_key_per_dip () =
   let lk = Orap_locking.Sarlock.lock base ~key_size:8 in
   let r = Sat_attack.run ~max_iterations:1000 lk (Oracle.functional lk) in
   check Alcotest.bool "needs nearly 2^8 DIPs" true (r.Sat_attack.iterations > 100);
-  let v = Evaluate.of_key lk r.Sat_attack.key in
+  let v = Evaluate.of_outcome lk r.Sat_attack.outcome in
   check Alcotest.bool "eventually equivalent" true v.Evaluate.equivalent
 
 let test_appsat_approximates_sarlock () =
@@ -70,7 +75,7 @@ let test_appsat_approximates_sarlock () =
     Appsat.run ~max_iterations:64 ~probe_every:4 ~error_threshold:0.05 lk
       (Oracle.functional lk)
   in
-  (match r.Appsat.key with
+  (match Budget.recovered r.Appsat.outcome with
   | None -> Alcotest.fail "AppSAT should settle on an approximate key"
   | Some key ->
     let hd = Locked.hamming_vs_original lk key in
@@ -80,31 +85,31 @@ let test_appsat_approximates_sarlock () =
 let test_appsat_exact_on_weak_locking () =
   let lk = Orap_locking.Random_ll.lock base ~key_size:12 in
   let r = Appsat.run lk (Oracle.functional lk) in
-  let v = Evaluate.of_key lk r.Appsat.key in
+  let v = Evaluate.of_outcome lk r.Appsat.outcome in
   check Alcotest.bool "equivalent" true v.Evaluate.equivalent
 
 let test_double_dip () =
   let lk = Orap_locking.Weighted.lock base ~key_size:12 ~ctrl_inputs:3 in
   let r = Double_dip.run lk (Oracle.functional lk) in
-  let v = Evaluate.of_key lk r.Double_dip.key in
+  let v = Evaluate.of_outcome lk r.Double_dip.outcome in
   check Alcotest.bool "equivalent" true v.Evaluate.equivalent;
   (* and fails behind OraP *)
   let r2 = Double_dip.run lk (orap_oracle lk) in
-  let v2 = Evaluate.of_key lk r2.Double_dip.key in
+  let v2 = Evaluate.of_outcome lk r2.Double_dip.outcome in
   check Alcotest.bool "fails behind OraP" false v2.Evaluate.equivalent
 
 let test_hill_climb_recovers_small_random_key () =
   (* independent key bits: greedy descent works *)
   let lk = Orap_locking.Random_ll.lock base ~key_size:8 in
   let r = Hill_climb.run ~sample:64 ~restarts:5 lk (Oracle.functional lk) in
-  let v = Evaluate.of_key lk (Some r.Hill_climb.key) in
+  let v = Evaluate.of_outcome lk r.Hill_climb.outcome in
   check Alcotest.bool "recovered" true v.Evaluate.equivalent;
   check Alcotest.int "zero residual mismatches" 0 r.Hill_climb.mismatches
 
 let test_hill_climb_fails_behind_orap () =
   let lk = Orap_locking.Random_ll.lock base ~key_size:8 in
   let r = Hill_climb.run ~sample:64 ~restarts:5 lk (orap_oracle lk) in
-  let v = Evaluate.of_key lk (Some r.Hill_climb.key) in
+  let v = Evaluate.of_outcome lk r.Hill_climb.outcome in
   check Alcotest.bool "not equivalent" false v.Evaluate.equivalent
 
 let test_hill_climb_on_responses () =
@@ -118,7 +123,7 @@ let test_hill_climb_on_responses () =
   in
   let r = Hill_climb.run_on_responses ~restarts:5 lk good in
   check Alcotest.bool "recovers from unlocked responses" true
-    (Evaluate.of_key lk (Some r.Hill_climb.key)).Evaluate.equivalent;
+    (Evaluate.of_outcome lk r.Hill_climb.outcome).Evaluate.equivalent;
   let zero_key = Array.make 8 false in
   let locked_pairs =
     List.map (fun (x, _) -> (x, Locked.eval lk ~key:zero_key ~inputs:x)) good
@@ -126,7 +131,7 @@ let test_hill_climb_on_responses () =
   let r2 = Hill_climb.run_on_responses ~restarts:5 lk locked_pairs in
   (* converges to the zero key's behaviour, not to the secret *)
   check Alcotest.bool "locked responses mislead" false
-    (Evaluate.of_key lk (Some r2.Hill_climb.key)).Evaluate.equivalent
+    (Evaluate.of_outcome lk r2.Hill_climb.outcome).Evaluate.equivalent
 
 let test_key_sensitization_counts () =
   let lk = Orap_locking.Random_ll.lock base ~key_size:8 in

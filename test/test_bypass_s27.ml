@@ -8,6 +8,7 @@ module Oracle = Orap_core.Oracle
 module Orap = Orap_core.Orap
 module Chip = Orap_core.Chip
 module Bypass = Orap_attacks.Bypass
+module Budget = Orap_attacks.Budget
 
 let base = random_netlist ~inputs:18 ~outputs:12 ~gates:150 113
 
@@ -15,9 +16,10 @@ let test_bypass_beats_sarlock () =
   (* comparator spans all 18 inputs so the trap inputs are single patterns *)
   let lk = Orap_locking.Sarlock.lock base ~key_size:18 in
   let r = Bypass.run lk (Oracle.functional lk) in
-  check Alcotest.bool "did not give up" false r.Bypass.gave_up;
+  check Alcotest.bool "did not give up" true
+    (Budget.succeeded r.Bypass.outcome);
   check Alcotest.bool "few patches" true (List.length r.Bypass.patches <= 2);
-  match r.Bypass.netlist with
+  match Budget.recovered r.Bypass.outcome with
   | None -> Alcotest.fail "expected a patched netlist"
   | Some patched ->
     (* the patched circuit equals the original on random patterns *)
@@ -32,9 +34,11 @@ let test_bypass_collapses_on_weighted () =
      happen to be equivalent — weighted locking's wrong keys form huge
      equivalence classes) the "patched" circuit is simply wrong *)
   let lk = Orap_locking.Weighted.lock base ~key_size:12 ~ctrl_inputs:3 in
-  let r = Bypass.run ~budget:16 lk (Oracle.functional lk) in
-  match r.Bypass.netlist with
-  | None -> check Alcotest.bool "budget exceeded" true r.Bypass.gave_up
+  let r = Bypass.run ~max_patches:16 lk (Oracle.functional lk) in
+  match Budget.recovered r.Bypass.outcome with
+  | None ->
+    check Alcotest.bool "budget exceeded" true
+      (match r.Bypass.outcome with Budget.Exhausted _ -> true | _ -> false)
   | Some patched ->
     check Alcotest.bool "patched circuit is not the original" false
       (equivalent_on_random base patched)
@@ -49,7 +53,7 @@ let test_bypass_vs_orap_is_useless () =
   let chip = Chip.create design in
   Chip.unlock chip;
   let r = Bypass.run lk (Oracle.scan_chip chip) in
-  match r.Bypass.netlist with
+  match Budget.recovered r.Bypass.outcome with
   | None -> () (* gave up: also a failure for the attacker *)
   | Some patched ->
     check Alcotest.bool "not the original function" false

@@ -167,9 +167,12 @@ let test_oracle_width_error () =
   let chip = chip_fixture () in
   Chip.unlock chip;
   let o = Oracle.scan_chip chip in
+  let d = chip.Chip.design in
+  let w = Orap.num_ext_inputs d + Orap.num_ffs d in
   Alcotest.check_raises "wrong width"
-    (Invalid_argument "Oracle.scan_chip: input width") (fun () ->
-      ignore (Oracle.query o (Array.make 3 false)))
+    (Invalid_argument
+       (Printf.sprintf "Oracle.scan_chip: expected input width %d, got 3" w))
+    (fun () -> ignore (Oracle.query o (Array.make 3 false)))
 
 let test_scan_oracle_deterministic () =
   (* repeated identical queries must return identical (locked) answers;
