@@ -24,6 +24,7 @@ module Chip = Orap_core.Chip
 module Oracle = Orap_core.Oracle
 module Lfsr = Orap_lfsr.Lfsr
 module Symbolic = Orap_lfsr.Symbolic
+module Runner = Orap_runner.Runner
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -116,6 +117,57 @@ let run_tables () =
   E.Report.print (E.Ablation.a1_report (E.Ablation.site_selection ()));
   E.Report.print (E.Ablation.a3_report (E.Ablation.key_register_structure ()));
   E.Report.print (E.Ablation.a4_report (E.Ablation.scheme_comparison fx))
+
+(* ---------- runner: serial vs parallel wall-clock ---------- *)
+
+(* a scaled-down Table I grid: the embarrassingly parallel shape every
+   paper table shares.  Results are bit-identical at any [jobs] (per-cell
+   derived seeds), so only the wall-clock changes. *)
+let run_runner_bench () =
+  section "Runner: serial vs 2- and 4-domain wall-clock (Table I grid)";
+  let params =
+    { E.Table1.default_params with E.Table1.scale = max scale 16;
+      hd_words = 48; hd_keys = 2 }
+  in
+  let time jobs =
+    let options = { Runner.default_options with Runner.jobs } in
+    let t0 = Unix.gettimeofday () in
+    let rows = E.Table1.run ~params ~options () in
+    let dt = Unix.gettimeofday () -. t0 in
+    (List.length rows, dt)
+  in
+  ignore (time 1) (* warm the minor heap and code paths *);
+  let cells, serial_s = time 1 in
+  let _, jobs2_s = time 2 in
+  let _, jobs4_s = time 4 in
+  let speedup d = serial_s /. d in
+  Printf.printf
+    "cells=%d  serial %.2fs | 2 domains %.2fs (%.2fx) | 4 domains %.2fs (%.2fx)  [%d core(s)]\n%!"
+    cells serial_s jobs2_s (speedup jobs2_s) jobs4_s (speedup jobs4_s)
+    (Domain.recommended_domain_count ());
+  let out =
+    match Sys.getenv_opt "ORAP_BENCH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_runner.json"
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"runner/table1-grid\",\n\
+    \  \"cells\": %d,\n\
+    \  \"scale\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"serial_s\": %.3f,\n\
+    \  \"jobs2_s\": %.3f,\n\
+    \  \"jobs4_s\": %.3f,\n\
+    \  \"speedup_2\": %.3f,\n\
+    \  \"speedup_4\": %.3f\n\
+     }\n"
+    cells params.E.Table1.scale
+    (Domain.recommended_domain_count ())
+    serial_s jobs2_s jobs4_s (speedup jobs2_s) (speedup jobs4_s);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" out
 
 (* ---------- layer 2: bechamel micro-benchmarks ---------- *)
 
@@ -254,5 +306,6 @@ let run_micro () =
 
 let () =
   if not (env_flag "ORAP_SKIP_TABLES") then run_tables ();
+  if not (env_flag "ORAP_SKIP_RUNNER") then run_runner_bench ();
   if not (env_flag "ORAP_SKIP_MICRO") then run_micro ();
   print_newline ()

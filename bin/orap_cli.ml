@@ -9,6 +9,44 @@ module Bench_format = Orap_netlist.Bench_format
 module Benchgen = Orap_benchgen.Benchgen
 module Locked = Orap_locking.Locked
 module E = Orap_experiments
+module Runner = Orap_runner.Runner
+
+(* --- shared runner option group (grid subcommands) --- *)
+
+let runner_opts : Runner.options Term.t =
+  let docs = "PARALLEL EXECUTION" in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docs
+          ~doc:"Worker domains for the experiment grid (0 = all cores).")
+  in
+  let journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docs ~docv:"FILE"
+          ~doc:
+            "Append completed grid cells to $(docv) (JSONL) so an \
+             interrupted run can be resumed.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ] ~docs
+          ~doc:
+            "Skip cells already recorded in $(b,--journal) (corrupt or \
+             half-written lines are recomputed).")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ] ~docs
+          ~doc:"Periodic done/total, cells/sec and ETA lines on stderr.")
+  in
+  let mk jobs journal resume progress =
+    { Runner.default_options with Runner.jobs; journal; resume; progress }
+  in
+  Term.(const mk $ jobs $ journal $ resume $ progress)
 
 let read_netlist path =
   let src = Bench_format.parse_file path in
@@ -191,7 +229,7 @@ let robustness_cmd =
     | exception _ -> failwith ("bad " ^ what ^ " list: " ^ s)
   in
   let run seed gates key_size oracle noise qbudgets trials attacks iters
-      wall_clock max_conflicts votes =
+      wall_clock max_conflicts votes options =
     let oracle =
       match oracle with
       | "functional" -> E.Robustness.Functional
@@ -228,7 +266,7 @@ let robustness_cmd =
         validate_queries = E.Robustness.default_params.E.Robustness.validate_queries;
       }
     in
-    E.Report.print (E.Robustness.report (E.Robustness.run ~params ()))
+    E.Report.print (E.Robustness.report (E.Robustness.run ~params ~options ()))
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"fixture seed") in
   let gates = Arg.(value & opt int 300 & info [ "gates" ] ~doc:"fixture gate count") in
@@ -246,7 +284,8 @@ let robustness_cmd =
     (Cmd.info "robustness"
        ~doc:"Sweep noise level x query budget x attack against an imperfect oracle")
     Term.(const run $ seed $ gates $ key_size $ oracle $ noise $ qbudgets
-          $ trials $ attacks $ iters $ wall_clock $ max_conflicts $ votes)
+          $ trials $ attacks $ iters $ wall_clock $ max_conflicts $ votes
+          $ runner_opts)
 
 (* --- experiment tables --- *)
 
@@ -255,26 +294,26 @@ let scale_arg =
          ~doc:"profile scale divisor; 0 = experiment default, 1 = paper scale")
 
 let table1_cmd =
-  let run scale =
+  let run scale options =
     let params =
       if scale = 0 then E.Table1.quick_params
       else { E.Table1.default_params with E.Table1.scale }
     in
-    E.Report.print (E.Table1.report (E.Table1.run ~params ()))
+    E.Report.print (E.Table1.report (E.Table1.run ~params ~options ()))
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I (HD, area, delay overhead)")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ runner_opts)
 
 let table2_cmd =
-  let run scale =
+  let run scale options =
     let params =
       if scale = 0 then E.Table2.quick_params
       else { E.Table2.default_params with E.Table2.scale }
     in
-    E.Report.print (E.Table2.report (E.Table2.run ~params ()))
+    E.Report.print (E.Table2.report (E.Table2.run ~params ~options ()))
   in
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II (fault coverage)")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ runner_opts)
 
 let security_cmd =
   let run () =
@@ -301,12 +340,12 @@ let security_cmd =
     Term.(const run $ const ())
 
 let trojans_cmd =
-  let run () =
+  let run options =
     let fx = E.Security.make_fixture () in
-    E.Report.print (E.Trojan_table.report (E.Trojan_table.run fx))
+    E.Report.print (E.Trojan_table.report (E.Trojan_table.run ~options fx))
   in
   Cmd.v (Cmd.info "trojans" ~doc:"Section III Trojan scenarios (payload/outcome)")
-    Term.(const run $ const ())
+    Term.(const run $ runner_opts)
 
 let ablation_cmd =
   let run () =

@@ -3,18 +3,27 @@
 type align = L | R
 
 (* rows are stored newest-first so [add_row] is O(1); [render] reverses
-   once *)
-type t = { title : string; header : string list; aligns : align list; mutable rev_rows : string list list }
+   once.  [count] mirrors the list length so [num_rows] is O(1) too. *)
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rev_rows : string list list;
+  mutable count : int;
+}
 
 let create ~title ~header ~aligns =
   if List.length header <> List.length aligns then invalid_arg "Report.create";
-  { title; header; aligns; rev_rows = [] }
+  { title; header; aligns; rev_rows = []; count = 0 }
 
+(* rows render in insertion (FIFO) order: callers replaying journaled
+   results must add rows in grid order, not completion order *)
 let add_row t row =
   if List.length row <> List.length t.header then invalid_arg "Report.add_row";
-  t.rev_rows <- row :: t.rev_rows
+  t.rev_rows <- row :: t.rev_rows;
+  t.count <- t.count + 1
 
-let num_rows t = List.length t.rev_rows
+let num_rows t = t.count
 
 let render t : string =
   let rows = List.rev t.rev_rows in

@@ -22,6 +22,7 @@ module Appsat = Orap_attacks.Appsat
 module Double_dip = Orap_attacks.Double_dip
 module Hill_climb = Orap_attacks.Hill_climb
 module Key_sensitization = Orap_attacks.Key_sensitization
+module Runner = Orap_runner.Runner
 
 type attack_kind = Sat | Appsat_k | Double_dip_k | Hill | Sensitize
 
@@ -155,76 +156,161 @@ let run_attack kind ~budget ~validate locked oracle :
     let r = Key_sensitization.run ~budget locked oracle in
     (r.Key_sensitization.outcome, r.Key_sensitization.queries)
 
-let run ?(params = default_params) () : row list =
-  let fx =
-    Security.make_fixture ~seed:params.seed ~num_gates:params.num_gates
-      ~key_size:params.key_size ()
-  in
+(* one grid cell: an (attack, noise, query budget) point, run for
+   [params.trials] trial seeds *)
+type cell = { kind : attack_kind; noise : float; query_budget : int }
+
+let attack_slug = function
+  | Sat -> "sat"
+  | Appsat_k -> "appsat"
+  | Double_dip_k -> "ddip"
+  | Hill -> "hill"
+  | Sensitize -> "sens"
+
+let cell_id (p : params) (c : cell) =
+  Printf.sprintf
+    "robustness|gates=%d|key=%d|oracle=%s|trials=%d|iters=%d|wall=%s|confl=%s|votes=%d|validate=%d|seed=%d|attack=%s|noise=%s|qb=%d"
+    p.num_gates p.key_size
+    (match p.oracle with Functional -> "functional" | Orap_scan -> "orap")
+    p.trials p.max_iterations
+    (Runner.float_repr p.wall_clock_s)
+    (match p.max_conflicts with None -> "-" | Some c -> string_of_int c)
+    p.retry_votes p.validate_queries p.seed (attack_slug c.kind)
+    (Runner.float_repr c.noise) c.query_budget
+
+(* [seed] is the cell's derived seed; trial [t] uses [seed + t], so trial
+   streams are independent of every other cell and of scheduling order *)
+let run_cell (params : params) fx budget ~seed (c : cell) : row =
   let locked = fx.Security.locked in
-  let budget =
-    Budget.make ~max_iterations:params.max_iterations
-      ~wall_clock_s:params.wall_clock_s
-      ?max_conflicts:params.max_conflicts ()
-  in
+  let tags = ref [] in
+  let equivalent = ref 0 in
+  let exact_proofs = ref 0 in
+  let hds = ref [] in
+  let queries = ref 0 in
+  let elapsed = ref 0.0 in
+  for trial = 0 to params.trials - 1 do
+    let trial_seed = seed + trial in
+    let oracle =
+      build_oracle params fx ~noise:c.noise ~query_budget:c.query_budget
+        ~trial_seed
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome, q =
+      run_attack c.kind ~budget ~validate:params.validate_queries locked
+        oracle
+    in
+    elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
+    queries := !queries + q;
+    let genuine =
+      match Budget.recovered outcome with
+      | None -> false
+      | Some key ->
+        hds := key_hd_pct locked.Locked.correct_key key :: !hds;
+        (Evaluate.of_key locked (Some key)).Evaluate.equivalent
+    in
+    if genuine then incr equivalent;
+    (match outcome with
+    | Budget.Exact _ when genuine -> incr exact_proofs
+    | _ -> ());
+    tags := outcome_tag ~genuine outcome :: !tags
+  done;
+  let n = float_of_int params.trials in
+  {
+    attack = attack_name c.kind;
+    noise = c.noise;
+    query_budget = c.query_budget;
+    trials = params.trials;
+    equivalent = !equivalent;
+    exact_proofs = !exact_proofs;
+    mean_key_hd_pct =
+      (match !hds with
+      | [] -> None
+      | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)));
+    mean_queries = float_of_int !queries /. n;
+    mean_elapsed_s = !elapsed /. n;
+    outcomes = summarize_tags (List.rev !tags);
+  }
+
+(* the first outcome tag of the aggregated cell, for the progress tally *)
+let row_tag (r : row) =
+  match String.index_opt r.outcomes ' ' with
+  | Some i -> (
+    let rest = String.sub r.outcomes (i + 1) (String.length r.outcomes - i - 1) in
+    match String.index_opt rest ',' with
+    | Some j -> String.sub rest 0 j
+    | None -> rest)
+  | None -> "?"
+
+let row_codec : row Runner.codec =
+  {
+    encode =
+      (fun r ->
+        Runner.fields
+          [ r.attack; Runner.float_repr r.noise;
+            string_of_int r.query_budget; string_of_int r.trials;
+            string_of_int r.equivalent; string_of_int r.exact_proofs;
+            (match r.mean_key_hd_pct with
+            | None -> "-"
+            | Some h -> Runner.float_repr h);
+            Runner.float_repr r.mean_queries;
+            Runner.float_repr r.mean_elapsed_s; r.outcomes ]);
+    decode =
+      (fun s ->
+        match Runner.unfields s with
+        | [ attack; noise; query_budget; trials; equivalent; exact_proofs;
+            hd; mean_queries; mean_elapsed_s; outcomes ] -> (
+          try
+            Some
+              {
+                attack;
+                noise = float_of_string noise;
+                query_budget = int_of_string query_budget;
+                trials = int_of_string trials;
+                equivalent = int_of_string equivalent;
+                exact_proofs = int_of_string exact_proofs;
+                mean_key_hd_pct =
+                  (if hd = "-" then None else Some (float_of_string hd));
+                mean_queries = float_of_string mean_queries;
+                mean_elapsed_s = float_of_string mean_elapsed_s;
+                outcomes;
+              }
+          with _ -> None)
+        | _ -> None);
+  }
+
+(** A scheduling-independent rendering of a row: every field except the
+    wall-clock timing (which can never be byte-identical across runs).
+    Used by the determinism tests and CI smoke checks. *)
+let canonical (r : row) : string =
+  row_codec.Runner.encode { r with mean_elapsed_s = 0.0 }
+
+let grid (p : params) : cell list =
   List.concat_map
     (fun kind ->
       List.concat_map
         (fun noise ->
           List.map
-            (fun query_budget ->
-              let tags = ref [] in
-              let equivalent = ref 0 in
-              let exact_proofs = ref 0 in
-              let hds = ref [] in
-              let queries = ref 0 in
-              let elapsed = ref 0.0 in
-              for trial = 0 to params.trials - 1 do
-                let trial_seed = (params.seed * 1000) + trial in
-                let oracle =
-                  build_oracle params fx ~noise ~query_budget ~trial_seed
-                in
-                let t0 = Unix.gettimeofday () in
-                let outcome, q =
-                  run_attack kind ~budget ~validate:params.validate_queries
-                    locked oracle
-                in
-                elapsed := !elapsed +. (Unix.gettimeofday () -. t0);
-                queries := !queries + q;
-                let genuine =
-                  match Budget.recovered outcome with
-                  | None -> false
-                  | Some key ->
-                    hds := key_hd_pct locked.Locked.correct_key key :: !hds;
-                    (Evaluate.of_key locked (Some key)).Evaluate.equivalent
-                in
-                if genuine then incr equivalent;
-                (match outcome with
-                | Budget.Exact _ when genuine -> incr exact_proofs
-                | _ -> ());
-                tags := outcome_tag ~genuine outcome :: !tags
-              done;
-              let n = float_of_int params.trials in
-              {
-                attack = attack_name kind;
-                noise;
-                query_budget;
-                trials = params.trials;
-                equivalent = !equivalent;
-                exact_proofs = !exact_proofs;
-                mean_key_hd_pct =
-                  (match !hds with
-                  | [] -> None
-                  | l ->
-                    Some
-                      (List.fold_left ( +. ) 0.0 l
-                      /. float_of_int (List.length l)));
-                mean_queries = float_of_int !queries /. n;
-                mean_elapsed_s = !elapsed /. n;
-                outcomes = summarize_tags (List.rev !tags);
-              })
-            params.query_budgets)
-        params.noise_levels)
-    params.attacks
+            (fun query_budget -> { kind; noise; query_budget })
+            p.query_budgets)
+        p.noise_levels)
+    p.attacks
+
+let run ?(params = default_params) ?(options = Runner.default_options) () :
+    row list =
+  let fx =
+    Security.make_fixture ~seed:params.seed ~num_gates:params.num_gates
+      ~key_size:params.key_size ()
+  in
+  let budget =
+    Budget.make ~max_iterations:params.max_iterations
+      ~wall_clock_s:params.wall_clock_s
+      ?max_conflicts:params.max_conflicts ()
+  in
+  let options = { options with Runner.root_seed = params.seed } in
+  Runner.map_grid ~options ~codec:row_codec ~tag:row_tag
+    ~id:(cell_id params)
+    ~f:(run_cell params fx budget)
+    (grid params)
 
 let report (rows : row list) : Report.t =
   let t =

@@ -17,6 +17,7 @@ module Orap = Orap_core.Orap
 module Abc = Orap_synth.Abc_script
 module Aig = Orap_synth.Aig
 module Prng = Orap_sim.Prng
+module Runner = Orap_runner.Runner
 
 type row = {
   name : string;
@@ -43,7 +44,11 @@ let default_params =
 let quick_params =
   { scale = 16; hd_words = 64; hd_keys = 3; synth_effort = 1; seed = 2020 }
 
-let run_profile (p : params) (profile : Benchgen.profile) : row =
+(* [seed] is the cell's derived seed ({!Orap_runner.Task.derive_seed} of
+   the grid root seed and this cell's id): every profile draws from its own
+   stream, so rows are bit-identical under any worker count *)
+let run_profile ?seed (p : params) (profile : Benchgen.profile) : row =
+  let seed = match seed with Some s -> s | None -> p.seed in
   let profile =
     if p.scale = 1 then profile else Benchgen.scale ~factor:p.scale profile
   in
@@ -59,18 +64,18 @@ let run_profile (p : params) (profile : Benchgen.profile) : row =
           (Orap.default_config ~kind:Orap.Basic
              ~num_ffs:(min 32 (N.num_outputs nl / 2)) ())
           with
-          Orap.seed = p.seed;
+          Orap.seed = seed;
         }
       locked
   in
   (* HD: valid key vs random keys *)
-  let rng = Prng.create (p.seed + 3) in
+  let rng = Prng.create (seed + 3) in
   let hd_sum = ref 0.0 in
   for k = 1 to p.hd_keys do
     let key = Prng.bool_array rng (Locked.key_size locked) in
     hd_sum :=
       !hd_sum
-      +. Locked.hamming_vs_original ~seed:(p.seed + k) ~words:p.hd_words
+      +. Locked.hamming_vs_original ~seed:(seed + k) ~words:p.hd_words
            locked key
   done;
   let hd = !hd_sum /. float_of_int p.hd_keys in
@@ -101,9 +106,51 @@ let run_profile (p : params) (profile : Benchgen.profile) : row =
     delay_pct;
   }
 
-let run ?(params = default_params) ?(profiles = Benchgen.table1_profiles) () :
-    row list =
-  List.map (run_profile params) profiles
+(* canonical cell spec: params + profile name — the journal key and the
+   derived seed both hash this, so changing any knob invalidates the cell *)
+let cell_id (p : params) (profile : Benchgen.profile) =
+  Printf.sprintf
+    "table1|scale=%d|hd_words=%d|hd_keys=%d|synth=%d|seed=%d|profile=%s"
+    p.scale p.hd_words p.hd_keys p.synth_effort p.seed profile.Benchgen.name
+
+let row_codec : row Runner.codec =
+  {
+    encode =
+      (fun r ->
+        Runner.fields
+          [ r.name; string_of_int r.gates; string_of_int r.outputs;
+            string_of_int r.lfsr_size; string_of_int r.ctrl_inputs;
+            Runner.float_repr r.hd_pct; Runner.float_repr r.area_pct;
+            Runner.float_repr r.delay_pct ]);
+    decode =
+      (fun s ->
+        match Runner.unfields s with
+        | [ name; gates; outputs; lfsr_size; ctrl_inputs; hd; area; delay ]
+          -> (
+          try
+            Some
+              {
+                name;
+                gates = int_of_string gates;
+                outputs = int_of_string outputs;
+                lfsr_size = int_of_string lfsr_size;
+                ctrl_inputs = int_of_string ctrl_inputs;
+                hd_pct = float_of_string hd;
+                area_pct = float_of_string area;
+                delay_pct = float_of_string delay;
+              }
+          with _ -> None)
+        | _ -> None);
+  }
+
+let run ?(params = default_params) ?(options = Runner.default_options)
+    ?(profiles = Benchgen.table1_profiles) () : row list =
+  let options = { options with Runner.root_seed = params.seed } in
+  Runner.map_grid ~options ~codec:row_codec
+    ~tag:(fun _ -> "row")
+    ~id:(cell_id params)
+    ~f:(fun ~seed profile -> run_profile ~seed params profile)
+    profiles
 
 let report (rows : row list) : Report.t =
   let t =

@@ -10,6 +10,7 @@ module Benchgen = Orap_benchgen.Benchgen
 module Weighted = Orap_locking.Weighted
 module Locked = Orap_locking.Locked
 module Atpg = Orap_atpg.Atpg
+module Runner = Orap_runner.Runner
 
 type side = { fc_pct : float; redundant_aborted : int; total_faults : int }
 
@@ -28,9 +29,9 @@ let default_params =
 let quick_params =
   { scale = 24; random_words = 16; backtrack_limit = 48; seed = 2020 }
 
-let run_side (p : params) (nl : N.t) : side =
+let run_side ~seed (p : params) (nl : N.t) : side =
   let r =
-    Atpg.run ~seed:p.seed ~random_words:p.random_words
+    Atpg.run ~seed ~random_words:p.random_words
       ~backtrack_limit:p.backtrack_limit nl
   in
   {
@@ -39,7 +40,9 @@ let run_side (p : params) (nl : N.t) : side =
     total_faults = r.Atpg.total_faults;
   }
 
-let run_profile (p : params) (profile : Benchgen.profile) : row =
+(* [seed] as in {!Table1.run_profile}: the cell's derived seed *)
+let run_profile ?seed (p : params) (profile : Benchgen.profile) : row =
+  let seed = match seed with Some s -> s | None -> p.seed in
   let profile =
     if p.scale = 1 then profile else Benchgen.scale ~factor:p.scale profile
   in
@@ -50,13 +53,55 @@ let run_profile (p : params) (profile : Benchgen.profile) : row =
   in
   {
     name = profile.Benchgen.name;
-    original = run_side p nl;
-    protected_ = run_side p locked.Locked.netlist;
+    original = run_side ~seed p nl;
+    protected_ = run_side ~seed p locked.Locked.netlist;
   }
 
-let run ?(params = default_params) ?(profiles = Benchgen.table1_profiles) () :
-    row list =
-  List.map (run_profile params) profiles
+let cell_id (p : params) (profile : Benchgen.profile) =
+  Printf.sprintf
+    "table2|scale=%d|words=%d|backtrack=%d|seed=%d|profile=%s" p.scale
+    p.random_words p.backtrack_limit p.seed profile.Benchgen.name
+
+let side_fields s =
+  [ Runner.float_repr s.fc_pct; string_of_int s.redundant_aborted;
+    string_of_int s.total_faults ]
+
+let side_of_fields fc ra tf =
+  {
+    fc_pct = float_of_string fc;
+    redundant_aborted = int_of_string ra;
+    total_faults = int_of_string tf;
+  }
+
+let row_codec : row Runner.codec =
+  {
+    encode =
+      (fun r ->
+        Runner.fields
+          ((r.name :: side_fields r.original) @ side_fields r.protected_));
+    decode =
+      (fun s ->
+        match Runner.unfields s with
+        | [ name; ofc; ora; otf; pfc; pra; ptf ] -> (
+          try
+            Some
+              {
+                name;
+                original = side_of_fields ofc ora otf;
+                protected_ = side_of_fields pfc pra ptf;
+              }
+          with _ -> None)
+        | _ -> None);
+  }
+
+let run ?(params = default_params) ?(options = Runner.default_options)
+    ?(profiles = Benchgen.table1_profiles) () : row list =
+  let options = { options with Runner.root_seed = params.seed } in
+  Runner.map_grid ~options ~codec:row_codec
+    ~tag:(fun _ -> "row")
+    ~id:(cell_id params)
+    ~f:(fun ~seed profile -> run_profile ~seed params profile)
+    profiles
 
 let report (rows : row list) : Report.t =
   let t =

@@ -4,6 +4,7 @@
 
 module Orap = Orap_core.Orap
 module Threat = Orap_core.Threat
+module Runner = Orap_runner.Runner
 
 type row = {
   scenario : Threat.scenario;
@@ -11,13 +12,66 @@ type row = {
   outcome : Threat.outcome;
 }
 
-let run (fx : Security.fixture) : row list =
-  List.concat_map
-    (fun (scheme, design) ->
-      List.map
-        (fun sc -> { scenario = sc; scheme; outcome = Threat.run design sc })
-        Threat.all_scenarios)
-    [ ("basic", fx.Security.basic); ("modified", fx.Security.modified) ]
+let scenario_of_label label =
+  List.find_opt
+    (fun sc -> Threat.scenario_label sc = label)
+    Threat.all_scenarios
+
+let cell_id (scheme, sc) =
+  Printf.sprintf "trojan|scheme=%s|scenario=%s" scheme
+    (Threat.scenario_label sc)
+
+let row_codec : row Runner.codec =
+  {
+    encode =
+      (fun r ->
+        Runner.fields
+          [ Threat.scenario_label r.scenario; r.scheme;
+            string_of_bool r.outcome.Threat.oracle_obtained;
+            Runner.float_repr r.outcome.Threat.payload_nand2;
+            string_of_bool r.outcome.Threat.detectable ]);
+    decode =
+      (fun s ->
+        match Runner.unfields s with
+        | [ label; scheme; obtained; payload; detectable ] -> (
+          match scenario_of_label label with
+          | None -> None
+          | Some scenario -> (
+            try
+              Some
+                {
+                  scenario;
+                  scheme;
+                  outcome =
+                    {
+                      Threat.scenario;
+                      oracle_obtained = bool_of_string obtained;
+                      payload_nand2 = float_of_string payload;
+                      detectable = bool_of_string detectable;
+                    };
+                }
+            with _ -> None))
+        | _ -> None);
+  }
+
+let run ?(options = Runner.default_options) (fx : Security.fixture) : row list
+    =
+  let cells =
+    List.concat_map
+      (fun scheme -> List.map (fun sc -> (scheme, sc)) Threat.all_scenarios)
+      [ "basic"; "modified" ]
+  in
+  Runner.map_grid ~options ~codec:row_codec
+    ~tag:(fun r -> if Threat.defeated r.outcome then "defeated" else "oracle-leaked")
+    ~id:cell_id
+    ~f:(fun ~seed:_ (scheme, sc) ->
+      let design =
+        match scheme with
+        | "basic" -> fx.Security.basic
+        | _ -> fx.Security.modified
+      in
+      { scenario = sc; scheme; outcome = Threat.run design sc })
+    cells
 
 let report (rows : row list) : Report.t =
   let t =

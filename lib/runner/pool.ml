@@ -1,0 +1,33 @@
+(** See pool.mli. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 0) ?on_result (f : int -> 'a -> 'b) (items : 'a array) :
+    ('b, exn) result array =
+  let n = Array.length items in
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
+  let jobs = max 1 (min jobs n) in
+  let results : ('b, exn) result option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let rec work () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      let r =
+        try
+          let v = f i items.(i) in
+          (match on_result with Some g -> g i v | None -> ());
+          Ok v
+        with e -> Error e
+      in
+      (* disjoint slots: no two domains ever write the same index *)
+      results.(i) <- Some r;
+      work ()
+    end
+  in
+  if jobs = 1 then work ()
+  else begin
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join domains
+  end;
+  Array.map (function Some r -> r | None -> assert false) results

@@ -1,0 +1,90 @@
+(** See progress.mli. *)
+
+type t = {
+  total : int;
+  interval_s : float;
+  out : out_channel;
+  enabled : bool;
+  mutex : Mutex.t;
+  started : float;
+  mutable computed : int;
+  mutable cached : int;
+  mutable last_emit : float;
+  tally : (string, int) Hashtbl.t;
+  mutable tag_order : string list;  (** first-seen order, reversed *)
+}
+
+let create ?(interval_s = 1.0) ?(out = stderr) ?(enabled = true) ~total () =
+  {
+    total;
+    interval_s;
+    out;
+    enabled;
+    mutex = Mutex.create ();
+    started = Unix.gettimeofday ();
+    computed = 0;
+    cached = 0;
+    last_emit = 0.0;
+    tally = Hashtbl.create 8;
+    tag_order = [];
+  }
+
+let completed t = t.computed + t.cached
+
+let line t =
+  let elapsed = Unix.gettimeofday () -. t.started in
+  let rate =
+    if elapsed > 0.0 then float_of_int t.computed /. elapsed else 0.0
+  in
+  let remaining = t.total - completed t in
+  let eta =
+    if remaining = 0 then "0.0s"
+    else if rate > 0.0 then
+      Printf.sprintf "%.1fs" (float_of_int remaining /. rate)
+    else "?"
+  in
+  let cached =
+    if t.cached > 0 then Printf.sprintf "  (%d cached)" t.cached else ""
+  in
+  let tags =
+    match t.tag_order with
+    | [] -> ""
+    | order ->
+      "  "
+      ^ String.concat ", "
+          (List.rev_map
+             (fun tag ->
+               Printf.sprintf "%d %s" (Hashtbl.find t.tally tag) tag)
+             order)
+  in
+  Printf.sprintf "[runner] %d/%d cells  %.1f cells/s  ETA %s%s%s"
+    (completed t) t.total rate eta cached tags
+
+let emit t =
+  output_string t.out (line t ^ "\n");
+  flush t.out
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let add_cached t n =
+  locked t (fun () -> t.cached <- t.cached + n)
+
+let tick t ~tag =
+  locked t (fun () ->
+      t.computed <- t.computed + 1;
+      (match Hashtbl.find_opt t.tally tag with
+      | Some n -> Hashtbl.replace t.tally tag (n + 1)
+      | None ->
+        Hashtbl.add t.tally tag 1;
+        t.tag_order <- tag :: t.tag_order);
+      if t.enabled then begin
+        let now = Unix.gettimeofday () in
+        if now -. t.last_emit >= t.interval_s then begin
+          t.last_emit <- now;
+          emit t
+        end
+      end)
+
+let finish t = locked t (fun () -> if t.enabled then emit t)

@@ -1,0 +1,35 @@
+(** Live grid telemetry: periodic done/total, cells/sec, ETA and a
+    per-outcome tally (the [Exact]/[Approximate]/[Exhausted]/
+    [Oracle_refused]-style tags the experiments map their outcomes to).
+
+    All entry points are thread-safe; workers call [tick] directly. *)
+
+type t
+
+(** [create ~total ()] — [interval_s] (default 1.0) throttles emission;
+    [enabled:false] (the default used under tests) keeps the counters but
+    never writes; output goes to [out] (default [stderr]). *)
+val create :
+  ?interval_s:float ->
+  ?out:out_channel ->
+  ?enabled:bool ->
+  total:int ->
+  unit ->
+  t
+
+(** Record [n] cells satisfied from the journal (they count as done but not
+    towards the throughput estimate). *)
+val add_cached : t -> int -> unit
+
+(** Record one freshly computed cell carrying an outcome tag. *)
+val tick : t -> tag:string -> unit
+
+(** The current status line, e.g.
+    ["[runner] 12/40 cells  3.1 cells/s  ETA 9.0s  (4 cached)  6 exact, 2 timeout"]. *)
+val line : t -> string
+
+(** Number of cells recorded so far (cached + computed). *)
+val completed : t -> int
+
+(** Emit a final status line (even when under the interval). *)
+val finish : t -> unit

@@ -18,4 +18,5 @@ let () =
       Test_attacks2.suite;
       Test_tools.suite;
       Test_bypass_s27.suite;
+      Test_runner.suite;
     ]
