@@ -1,0 +1,140 @@
+(** See prop.mli. *)
+
+module Prng = Orap_sim.Prng
+module Task = Orap_runner.Task
+module N = Orap_netlist.Netlist
+
+type failure = {
+  name : string;
+  root_seed : int;
+  case_index : int;
+  case_seed : int;
+  message : string;
+  counterexample : string option;
+}
+
+let pp_failure f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "property %S failed\n" f.name);
+  Buffer.add_string buf
+    (Printf.sprintf "  root seed : %d (ORAP_PROPTEST_SEED=%d reproduces)\n"
+       f.root_seed f.root_seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  case      : #%d (derived case seed %d)\n" f.case_index
+       f.case_seed);
+  Buffer.add_string buf (Printf.sprintf "  reason    : %s\n" f.message);
+  (match f.counterexample with
+  | Some c ->
+    Buffer.add_string buf "  shrunk counterexample:\n";
+    String.split_on_char '\n' c
+    |> List.iter (fun line ->
+           Buffer.add_string buf "    ";
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n')
+  | None -> ());
+  Buffer.contents buf
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> default)
+
+let default_root_seed () = env_int "ORAP_PROPTEST_SEED" 192837465
+
+let effective_count count = max 1 (env_int "ORAP_PROPTEST_COUNT" 1) * count
+
+let slug name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    name
+
+(* write the shrunk counterexample where CI can pick it up as an artifact *)
+let save_counterexample ~name text =
+  match Sys.getenv_opt "ORAP_PROPTEST_DIR" with
+  | None -> None
+  | Some dir ->
+    (try
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       let ext = if String.length text > 0 && text.[0] = 'I' then "bench" else "txt" in
+       let path = Filename.concat dir (Printf.sprintf "%s.%s" (slug name) ext) in
+       let oc = open_out path in
+       output_string oc text;
+       close_out oc;
+       Some path
+     with _ -> None)
+
+let run ?(count = 40) ?root_seed ~name ~(gen : 'a Gen.t) ?print ?shrink prop =
+  let root_seed =
+    match root_seed with Some s -> s | None -> default_root_seed ()
+  in
+  let count = effective_count count in
+  let failure case_index case_seed message value =
+    let still_fails x = try not (prop x) with _ -> true in
+    let counterexample =
+      match (shrink, print) with
+      | Some sh, _ -> Some (sh value still_fails)
+      | None, Some pr -> Some (pr value)
+      | None, None -> None
+    in
+    Option.iter
+      (fun c -> ignore (save_counterexample ~name c))
+      counterexample;
+    Error { name; root_seed; case_index; case_seed; message; counterexample }
+  in
+  let rec case i =
+    if i >= count then Ok count
+    else begin
+      let case_seed =
+        Task.derive_seed ~root_seed ~id:(Printf.sprintf "%s#%d" name i)
+      in
+      let rng = Prng.create case_seed in
+      match gen rng with
+      | exception e ->
+        Error
+          {
+            name;
+            root_seed;
+            case_index = i;
+            case_seed;
+            message = "generator raised " ^ Printexc.to_string e;
+            counterexample = None;
+          }
+      | value -> (
+        match prop value with
+        | true -> case (i + 1)
+        | false -> failure i case_seed "property returned false" value
+        | exception e ->
+          failure i case_seed
+            ("property raised " ^ Printexc.to_string e)
+            value)
+    end
+  in
+  case 0
+
+let to_alcotest ?count ~name ~gen ?print ?shrink prop =
+  Alcotest.test_case name `Quick (fun () ->
+      match run ?count ~name ~gen ?print ?shrink prop with
+      | Ok _ -> ()
+      | Error f -> Alcotest.fail (pp_failure f))
+
+let netlist ?(count = 40) ?params name prop =
+  to_alcotest ~count ~name
+    ~gen:(Gen.netlist ?params ())
+    ~shrink:(fun nl still_fails -> Shrink.report (Shrink.shrink still_fails nl))
+    prop
+
+let netlist_with_seed ?(count = 40) ?params name prop =
+  to_alcotest ~count ~name
+    ~gen:(Gen.pair (Gen.netlist ?params ()) (Gen.int_range 0 0x3FFFFFFF))
+    ~shrink:(fun (nl, aux) still_fails ->
+      let shrunk =
+        Shrink.shrink (fun nl' -> still_fails (nl', aux)) nl
+      in
+      Printf.sprintf "aux seed %d\n%s" aux (Shrink.report shrunk))
+    (fun (nl, aux) -> prop nl ~aux)

@@ -1,0 +1,72 @@
+(** Property-check runner with deterministic, reproducible seeding.
+
+    Case seeds are derived from a root seed and the property name with the
+    same FNV-1a discipline as [lib/runner]'s {!Orap_runner.Task}, so a
+    single failing case is replayed exactly by seed, independent of every
+    other case.  The root seed comes from [ORAP_PROPTEST_SEED] when set
+    (the nightly CI job passes a date-derived value); the per-property
+    iteration count is multiplied by [ORAP_PROPTEST_COUNT].  When
+    [ORAP_PROPTEST_DIR] names a directory, shrunk counterexamples are also
+    written there as [.bench]/[.txt] files (uploaded as CI artifacts). *)
+
+type failure = {
+  name : string;
+  root_seed : int;
+  case_index : int;
+  case_seed : int;
+  message : string;  (** "returned false" or the raised exception *)
+  counterexample : string option;  (** shrunk report, when a shrinker ran *)
+}
+
+val pp_failure : failure -> string
+
+(** Root seed: [ORAP_PROPTEST_SEED] or a fixed default. *)
+val default_root_seed : unit -> int
+
+(** [ORAP_PROPTEST_COUNT] (default 1) times [count]. *)
+val effective_count : int -> int
+
+(** Run [prop] on [count] generated cases (default 40, scaled by
+    [ORAP_PROPTEST_COUNT]).  [shrink failing_value still_fails] should
+    return a printable minimal counterexample.  A property fails by
+    returning [false] or raising. *)
+val run :
+  ?count:int ->
+  ?root_seed:int ->
+  name:string ->
+  gen:'a Gen.t ->
+  ?print:('a -> string) ->
+  ?shrink:('a -> ('a -> bool) -> string) ->
+  ('a -> bool) ->
+  (int, failure) result
+
+(** {1 Alcotest integration} *)
+
+(** Wrap {!run}; on failure the test prints the failing root/case seed, the
+    reproduction recipe and the shrunk counterexample. *)
+val to_alcotest :
+  ?count:int ->
+  name:string ->
+  gen:'a Gen.t ->
+  ?print:('a -> string) ->
+  ?shrink:('a -> ('a -> bool) -> string) ->
+  ('a -> bool) ->
+  unit Alcotest.test_case
+
+(** Netlist property with built-in DAG generation and {!Shrink} shrinking. *)
+val netlist :
+  ?count:int ->
+  ?params:Gen.netlist_params ->
+  string ->
+  (Orap_netlist.Netlist.t -> bool) ->
+  unit Alcotest.test_case
+
+(** Netlist property that also draws an auxiliary seed (for pattern
+    streams, key draws, fault picks...).  Shrinking holds the auxiliary
+    seed fixed and minimises only the netlist. *)
+val netlist_with_seed :
+  ?count:int ->
+  ?params:Gen.netlist_params ->
+  string ->
+  (Orap_netlist.Netlist.t -> aux:int -> bool) ->
+  unit Alcotest.test_case

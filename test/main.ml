@@ -19,4 +19,10 @@ let () =
       Test_tools.suite;
       Test_bypass_s27.suite;
       Test_runner.suite;
+      Test_prop_netlist.suite;
+      Test_prop_equiv.suite;
+      Test_prop_synth.suite;
+      Test_prop_locking.suite;
+      Test_prop_attacks.suite;
+      Test_prop_testability.suite;
     ]

@@ -6,38 +6,7 @@ module Fsim = Orap_faultsim.Fsim
 module Sim = Orap_sim.Sim
 module Prng = Orap_sim.Prng
 
-(* reference: full-circuit simulation with the fault inserted, one pattern *)
-let eval_with_fault nl fault inp =
-  let n = N.num_nodes nl in
-  let values = Array.make n false in
-  let pos = ref 0 in
-  for i = 0 to n - 1 do
-    let v =
-      match N.kind nl i with
-      | Gate.Input ->
-        let v = inp.(!pos) in
-        incr pos;
-        v
-      | k ->
-        let fan = N.fanins nl i in
-        let ops =
-          Array.mapi
-            (fun p f ->
-              match fault.Fault.site with
-              | Fault.Input (fn, fp) when fn = i && fp = p -> fault.Fault.stuck
-              | Fault.Input _ | Fault.Output _ -> values.(f))
-            fan
-        in
-        Gate.eval_bool k ops
-    in
-    let v =
-      match fault.Fault.site with
-      | Fault.Output fn when fn = i -> fault.Fault.stuck
-      | Fault.Output _ | Fault.Input _ -> v
-    in
-    values.(i) <- v
-  done;
-  Array.map (fun o -> values.(o)) (N.outputs nl)
+(* the forced-value reference simulation lives in Util.eval_with_fault *)
 
 let test_collapsed_list_structure () =
   let nl = random_netlist ~inputs:6 ~outputs:4 ~gates:40 3 in

@@ -4,21 +4,7 @@ module Gate = Orap_netlist.Gate
 module Bench_format = Orap_netlist.Bench_format
 module Dot = Orap_netlist.Dot
 
-(* a tiny reference circuit: full adder *)
-let full_adder () =
-  let b = N.Builder.create () in
-  let a = N.Builder.add_input ~name:"a" b in
-  let x = N.Builder.add_input ~name:"b" b in
-  let cin = N.Builder.add_input ~name:"cin" b in
-  let s1 = N.Builder.add_node ~name:"s1" b Gate.Xor [| a; x |] in
-  let sum = N.Builder.add_node ~name:"sum" b Gate.Xor [| s1; cin |] in
-  let c1 = N.Builder.add_node b Gate.And [| a; x |] in
-  let c2 = N.Builder.add_node b Gate.And [| s1; cin |] in
-  let cout = N.Builder.add_node ~name:"cout" b Gate.Or [| c1; c2 |] in
-  N.Builder.mark_output b sum;
-  N.Builder.mark_output b cout;
-  N.Builder.finish b
-
+(* the tiny reference circuit lives in Util.full_adder *)
 let test_full_adder_truth () =
   let nl = full_adder () in
   for m = 0 to 7 do
@@ -114,27 +100,6 @@ let test_bench_roundtrip () =
   let src = Bench_format.parse text in
   check Alcotest.bool "roundtrip equivalent" true
     (equivalent_on_random nl src.Bench_format.netlist)
-
-(* structural equality by name: same inputs/outputs in order, and every
-   named node computes the same gate over the same (named) fanins *)
-let netlists_structurally_equal a b =
-  let names t arr = Array.map (N.node_name t) arr in
-  names a (N.inputs a) = names b (N.inputs b)
-  && names a (N.outputs a) = names b (N.outputs b)
-  && N.num_nodes a = N.num_nodes b
-  &&
-  let ok = ref true in
-  for i = 0 to N.num_nodes a - 1 do
-    let name = N.node_name a i in
-    match N.find b name with
-    | None -> ok := false
-    | Some j ->
-      if N.kind a i <> N.kind b j then ok := false;
-      let fa = Array.map (N.node_name a) (N.fanins a i) in
-      let fb = Array.map (N.node_name b) (N.fanins b j) in
-      if fa <> fb then ok := false
-  done;
-  !ok
 
 (* golden round-trip on the real ISCAS s27: the runner's journals reference
    .bench inputs by path + content hash, so parser/printer drift would

@@ -1,0 +1,112 @@
+(** Testability-layer properties: the event-driven parallel fault
+    simulator against forced-value resimulation, and PODEM's generated
+    vectors against the fault simulator — three independent
+    implementations of "does this pattern detect this fault?". *)
+
+open Util
+module Fault = Orap_faultsim.Fault
+module Fsim = Orap_faultsim.Fsim
+module Podem = Orap_atpg.Podem
+module Prop = Orap_proptest.Prop
+module Gen = Orap_proptest.Gen
+
+(* P: for random faults and random pattern words, the event-driven
+   detector agrees lane-by-lane with full forced-value resimulation *)
+let prop_fsim_matches_forced_resim =
+  Prop.netlist_with_seed ~count:30 "fault sim agrees with forced resimulation"
+    (fun nl ~aux ->
+      let faults = Fault.collapsed_list nl in
+      if Array.length faults = 0 then true
+      else begin
+        let rng = Prng.create aux in
+        let t = Fsim.create nl in
+        let ni = N.num_inputs nl in
+        let words = Array.init ni (fun _ -> Prng.next64 rng) in
+        let good = Sim.eval_word nl ~input_word:(fun i -> words.(i)) in
+        let ok = ref true in
+        for _ = 1 to 8 do
+          let fault = faults.(Prng.int rng (Array.length faults)) in
+          let mask = Fsim.detect_word t good fault in
+          for lane = 0 to 3 do
+            let inp =
+              Array.init ni (fun i ->
+                  Int64.logand (Int64.shift_right_logical words.(i) lane) 1L
+                  <> 0L)
+            in
+            let detected_ref =
+              eval_with_fault nl fault inp <> Sim.eval_bools nl inp
+            in
+            let detected_par =
+              Int64.logand (Int64.shift_right_logical mask lane) 1L <> 0L
+            in
+            if detected_ref <> detected_par then ok := false
+          done
+        done;
+        !ok
+      end)
+
+(* P: every vector PODEM emits really detects its target fault, for any
+   don't-care fill *)
+let prop_podem_vectors_detect =
+  Prop.netlist_with_seed ~count:20 "PODEM vectors detect their fault"
+    (fun nl ~aux ->
+      let faults = Fault.collapsed_list nl in
+      if Array.length faults = 0 then true
+      else begin
+        let rng = Prng.create aux in
+        let engine = Podem.create nl in
+        let ni = N.num_inputs nl in
+        let ok = ref true in
+        for _ = 1 to 6 do
+          let fault = faults.(Prng.int rng (Array.length faults)) in
+          match Podem.run engine fault ~backtrack_limit:500 with
+          | Podem.Redundant | Podem.Aborted -> ()
+          | Podem.Test assignment ->
+            (* two independent random fills of the don't-cares *)
+            for _ = 1 to 2 do
+              let inp =
+                Array.init ni (fun i ->
+                    match assignment.(i) with
+                    | Some v -> v
+                    | None -> Prng.bool rng)
+              in
+              if eval_with_fault nl fault inp = Sim.eval_bools nl inp then
+                ok := false
+            done
+        done;
+        !ok
+      end)
+
+(* P: a PODEM Redundant verdict means no pattern detects the fault — on
+   small circuits, verify exhaustively *)
+let prop_podem_redundant_means_undetectable =
+  Prop.netlist_with_seed ~count:15 ~params:Gen.tiny_params
+    "PODEM redundancy proofs hold exhaustively" (fun nl ~aux ->
+      let faults = Fault.collapsed_list nl in
+      if Array.length faults = 0 then true
+      else begin
+        let rng = Prng.create aux in
+        let engine = Podem.create nl in
+        let ni = N.num_inputs nl in
+        let ok = ref true in
+        for _ = 1 to 4 do
+          let fault = faults.(Prng.int rng (Array.length faults)) in
+          match Podem.run engine fault ~backtrack_limit:2000 with
+          | Podem.Test _ | Podem.Aborted -> ()
+          | Podem.Redundant ->
+            for p = 0 to (1 lsl ni) - 1 do
+              let inp = Array.init ni (fun i -> (p lsr i) land 1 = 1) in
+              if eval_with_fault nl fault inp <> Sim.eval_bools nl inp then
+                ok := false
+            done
+        done;
+        !ok
+      end)
+
+let suite =
+  ( "prop_testability",
+    [
+      prop_fsim_matches_forced_resim;
+      prop_podem_vectors_detect;
+      prop_podem_redundant_means_undetectable;
+    ] )

@@ -170,6 +170,40 @@ let test_dimacs_roundtrip () =
   let s, _ = Dimacs.to_solver cnf in
   check result "sat" Solver.Sat (Solver.solve s)
 
+(* to_solver must reach the same verdict as loading the same clauses into a
+   fresh Solver by hand, for both satisfiable and unsatisfiable inputs *)
+let test_dimacs_solver_cross_check () =
+  let manual_solve (cnf : Dimacs.cnf) =
+    let s = Solver.create () in
+    let vars = Solver.new_vars s cnf.Dimacs.num_vars in
+    List.iter
+      (fun clause ->
+        ignore
+          (Solver.add_clause s
+             (List.map
+                (fun i -> Lit.of_var ~negated:(i < 0) vars.(abs i - 1))
+                clause)))
+      cnf.Dimacs.clauses;
+    Solver.solve s
+  in
+  let cases =
+    [
+      ("sat", "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n", Solver.Sat);
+      ("unsat", "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n", Solver.Unsat);
+      ("unit chain", "p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n", Solver.Sat);
+    ]
+  in
+  List.iter
+    (fun (name, text, expected) ->
+      let cnf = Dimacs.parse text in
+      let s, _ = Dimacs.to_solver cnf in
+      check result (name ^ " via to_solver") expected (Solver.solve s);
+      check result (name ^ " via manual load") expected (manual_solve cnf);
+      (* and the verdict survives a print/parse round-trip *)
+      let s2, _ = Dimacs.to_solver (Dimacs.parse (Dimacs.print cnf)) in
+      check result (name ^ " after roundtrip") expected (Solver.solve s2))
+    cases
+
 let test_stats_exposed () =
   let s = Solver.create () in
   ignore (php ~holes:3 ~pigeons:4);
@@ -191,5 +225,6 @@ let suite =
       tc "tseitin self-miter" `Quick test_tseitin_equivalence;
       prop_tseitin_matches_simulation;
       tc "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+      tc "dimacs solver cross-check" `Quick test_dimacs_solver_cross_check;
       tc "statistics exposed" `Quick test_stats_exposed;
     ] )

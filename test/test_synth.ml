@@ -168,14 +168,7 @@ let prop_pipeline_preserves_function =
 
 let test_balance_reduces_chain_depth () =
   (* a linear AND chain of 8 inputs balances to depth 3 *)
-  let b = N.Builder.create () in
-  let pis = Array.init 8 (fun _ -> N.Builder.add_input b) in
-  let acc = ref pis.(0) in
-  for i = 1 to 7 do
-    acc := N.Builder.add_node b Gate.And [| !acc; pis.(i) |]
-  done;
-  N.Builder.mark_output b !acc;
-  let nl = N.Builder.finish b in
+  let nl = chain_circuit ~kind:Gate.And 8 in
   let g0 = Aig.of_netlist nl in
   check Alcotest.int "chain depth" 7 (Aig.depth g0);
   let g = Balance.run g0 in

@@ -7,11 +7,6 @@ module Atpg = Orap_atpg.Atpg
 module Fault = Orap_faultsim.Fault
 module Fsim = Orap_faultsim.Fsim
 
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-  go 0
-
 let test_verilog_structure () =
   let nl = random_netlist ~inputs:6 ~outputs:4 ~gates:30 7 in
   let v = Verilog.of_netlist ~module_name:"dut" nl in
@@ -35,6 +30,81 @@ let test_verilog_structure () =
          (String.split_on_char '\n' v))
   in
   check Alcotest.bool "instances emitted" true (count_instances >= !gates)
+
+(* exact expected emission for a fixed small circuit, so any formatting or
+   ordering change in the writer is flagged deliberately *)
+let test_verilog_golden () =
+  let nl = full_adder () in
+  let expected =
+    "module fa(a, b, cin, po0, po1);\n\
+    \  input a;\n\
+    \  input b;\n\
+    \  input cin;\n\
+    \  output po0;\n\
+    \  output po1;\n\
+    \  wire s1;\n\
+    \  wire sum;\n\
+    \  wire n5;\n\
+    \  wire n6;\n\
+    \  wire cout;\n\
+    \  xor g1(s1, a, b);\n\
+    \  xor g2(sum, s1, cin);\n\
+    \  and g3(n5, a, b);\n\
+    \  and g4(n6, s1, cin);\n\
+    \  or g5(cout, n5, n6);\n\
+    \  assign po0 = sum;\n\
+    \  assign po1 = cout;\n\
+     endmodule\n"
+  in
+  check Alcotest.string "verilog golden" expected
+    (Verilog.of_netlist ~module_name:"fa" nl)
+
+let test_dot_golden () =
+  let nl = full_adder () in
+  let expected =
+    "digraph fa {\n\
+    \  rankdir=LR;\n\
+    \  n0 [label=\"a\\nINPUT\" shape=invtriangle];\n\
+    \  n1 [label=\"b\\nINPUT\" shape=invtriangle];\n\
+    \  n2 [label=\"cin\\nINPUT\" shape=invtriangle];\n\
+    \  n3 [label=\"s1\\nXOR\" shape=box];\n\
+    \  n0 -> n3;\n\
+    \  n1 -> n3;\n\
+    \  n4 [label=\"sum\\nXOR\" shape=box];\n\
+    \  n3 -> n4;\n\
+    \  n2 -> n4;\n\
+    \  n5 [label=\"n5\\nAND\" shape=box];\n\
+    \  n0 -> n5;\n\
+    \  n1 -> n5;\n\
+    \  n6 [label=\"n6\\nAND\" shape=box];\n\
+    \  n3 -> n6;\n\
+    \  n2 -> n6;\n\
+    \  n7 [label=\"cout\\nOR\" shape=box];\n\
+    \  n5 -> n7;\n\
+    \  n6 -> n7;\n\
+    \  po0 [label=\"PO0\" shape=triangle];\n\
+    \  n4 -> po0;\n\
+    \  po1 [label=\"PO1\" shape=triangle];\n\
+    \  n7 -> po1;\n\
+     }\n"
+  in
+  check Alcotest.string "dot golden" expected
+    (Orap_netlist.Dot.of_netlist ~graph_name:"fa" nl)
+
+(* every node and every fanin edge of the source netlist must appear in the
+   dot text, whatever the circuit *)
+let test_dot_covers_structure () =
+  let nl = random_netlist ~inputs:5 ~outputs:3 ~gates:25 11 in
+  let dot = Orap_netlist.Dot.of_netlist nl in
+  for i = 0 to N.num_nodes nl - 1 do
+    check Alcotest.bool "node present" true
+      (contains dot (Printf.sprintf "n%d [label=" i));
+    Array.iter
+      (fun f ->
+        check Alcotest.bool "edge present" true
+          (contains dot (Printf.sprintf "n%d -> n%d;" f i)))
+      (N.fanins nl i)
+  done
 
 let test_verilog_deterministic () =
   let nl = random_netlist ~inputs:6 ~outputs:4 ~gates:30 7 in
@@ -66,6 +136,9 @@ let suite =
   ( "tools",
     [
       tc "verilog structure" `Quick test_verilog_structure;
+      tc "verilog golden" `Quick test_verilog_golden;
+      tc "dot golden" `Quick test_dot_golden;
+      tc "dot covers structure" `Quick test_dot_covers_structure;
       tc "verilog deterministic" `Quick test_verilog_deterministic;
       tc "compaction preserves coverage" `Quick test_compaction_preserves_coverage;
     ] )

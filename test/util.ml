@@ -32,3 +32,95 @@ let seed_gen = QCheck.(int_range 0 10_000)
 
 let qtest ?(count = 50) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(** Naive substring test, for asserting on printed reports. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(** {1 Tiny reference circuits} *)
+
+(** A full adder: inputs a, b, cin; outputs sum, cout. *)
+let full_adder () =
+  let b = N.Builder.create () in
+  let a = N.Builder.add_input ~name:"a" b in
+  let x = N.Builder.add_input ~name:"b" b in
+  let cin = N.Builder.add_input ~name:"cin" b in
+  let s1 = N.Builder.add_node ~name:"s1" b Gate.Xor [| a; x |] in
+  let sum = N.Builder.add_node ~name:"sum" b Gate.Xor [| s1; cin |] in
+  let c1 = N.Builder.add_node b Gate.And [| a; x |] in
+  let c2 = N.Builder.add_node b Gate.And [| s1; cin |] in
+  let cout = N.Builder.add_node ~name:"cout" b Gate.Or [| c1; c2 |] in
+  N.Builder.mark_output b sum;
+  N.Builder.mark_output b cout;
+  N.Builder.finish b
+
+(** A linear chain of [width]-less gates: inputs folded left through [kind]. *)
+let chain_circuit ?(kind = Gate.And) n_inputs =
+  let b = N.Builder.create () in
+  let pis = Array.init n_inputs (fun _ -> N.Builder.add_input b) in
+  let acc = ref pis.(0) in
+  for i = 1 to n_inputs - 1 do
+    acc := N.Builder.add_node b kind [| !acc; pis.(i) |]
+  done;
+  N.Builder.mark_output b !acc;
+  N.Builder.finish b
+
+(** {1 Structural and fault-model references} *)
+
+(** Structural equality by name: same inputs/outputs in order, and every
+    named node computes the same gate over the same (named) fanins. *)
+let netlists_structurally_equal a b =
+  let names t arr = Array.map (N.node_name t) arr in
+  names a (N.inputs a) = names b (N.inputs b)
+  && names a (N.outputs a) = names b (N.outputs b)
+  && N.num_nodes a = N.num_nodes b
+  &&
+  let ok = ref true in
+  for i = 0 to N.num_nodes a - 1 do
+    let name = N.node_name a i in
+    match N.find b name with
+    | None -> ok := false
+    | Some j ->
+      if N.kind a i <> N.kind b j then ok := false;
+      let fa = Array.map (N.node_name a) (N.fanins a i) in
+      let fb = Array.map (N.node_name b) (N.fanins b j) in
+      if fa <> fb then ok := false
+  done;
+  !ok
+
+(** Reference fault simulation: full-circuit evaluation with the single
+    stuck-at fault forced in, one pattern at a time. *)
+let eval_with_fault nl fault inp =
+  let module Fault = Orap_faultsim.Fault in
+  let n = N.num_nodes nl in
+  let values = Array.make n false in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    let v =
+      match N.kind nl i with
+      | Gate.Input ->
+        let v = inp.(!pos) in
+        incr pos;
+        v
+      | k ->
+        let fan = N.fanins nl i in
+        let ops =
+          Array.mapi
+            (fun p f ->
+              match fault.Fault.site with
+              | Fault.Input (fn, fp) when fn = i && fp = p -> fault.Fault.stuck
+              | Fault.Input _ | Fault.Output _ -> values.(f))
+            fan
+        in
+        Gate.eval_bool k ops
+    in
+    let v =
+      match fault.Fault.site with
+      | Fault.Output fn when fn = i -> fault.Fault.stuck
+      | Fault.Output _ | Fault.Input _ -> v
+    in
+    values.(i) <- v
+  done;
+  Array.map (fun o -> values.(o)) (N.outputs nl)
