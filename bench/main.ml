@@ -10,7 +10,9 @@
     2. {b Bechamel micro-benchmarks} — one [Test.make] per experiment,
        timing the computational kernel each table/figure rests on.
 
-    Set [ORAP_SKIP_TABLES=1] or [ORAP_SKIP_MICRO=1] to run one layer only. *)
+    Set [ORAP_SKIP_TABLES=1], [ORAP_SKIP_RUNNER=1], [ORAP_SKIP_TELEMETRY=1]
+    or [ORAP_SKIP_MICRO=1] to skip layers.  [ORAP_TRACE=FILE] /
+    [ORAP_METRICS=FILE] mirror the CLI's [--trace] / [--metrics]. *)
 
 open Bechamel
 open Toolkit
@@ -25,6 +27,8 @@ module Oracle = Orap_core.Oracle
 module Lfsr = Orap_lfsr.Lfsr
 module Symbolic = Orap_lfsr.Symbolic
 module Runner = Orap_runner.Runner
+module Telemetry = Orap_telemetry.Telemetry
+module Metrics = Orap_telemetry.Metrics
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -161,13 +165,54 @@ let run_runner_bench () =
     \  \"jobs2_s\": %.3f,\n\
     \  \"jobs4_s\": %.3f,\n\
     \  \"speedup_2\": %.3f,\n\
-    \  \"speedup_4\": %.3f\n\
+    \  \"speedup_4\": %.3f,\n\
+    \  \"metrics\": %s\n\
      }\n"
     cells params.E.Table1.scale
     (Domain.recommended_domain_count ())
-    serial_s jobs2_s jobs4_s (speedup jobs2_s) (speedup jobs4_s);
+    serial_s jobs2_s jobs4_s (speedup jobs2_s) (speedup jobs4_s)
+    (Metrics.snapshot_json ());
   close_out oc;
   Printf.printf "(wrote %s)\n%!" out
+
+(* ---------- telemetry: disabled-path overhead ---------- *)
+
+(* Permanent instrumentation is only acceptable if its disabled path is
+   free.  Time an instrumented hot path (a full SAT attack: solver spans,
+   oracle spans, metrics) with no sink installed and with the counting
+   no-op sink, and require the delta to stay under 2%. *)
+let run_telemetry_overhead () =
+  section "Telemetry: overhead of the disabled path vs a no-op sink";
+  let small =
+    Benchgen.generate
+      { Benchgen.seed = 5; num_inputs = 32; num_outputs = 24; num_gates = 400 }
+  in
+  let locked = Orap_locking.Random_ll.lock small ~key_size:16 in
+  let workload () =
+    ignore (Orap_attacks.Sat_attack.run locked (Oracle.functional locked))
+  in
+  let rounds = max 3 (24 / scale) in
+  let time_rounds () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to rounds do
+      workload ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  workload () (* warm-up *);
+  (* alternate measurements so drift hits both sides equally; keep minima *)
+  let disabled_s = ref infinity and nullsink_s = ref infinity in
+  for _ = 1 to 3 do
+    disabled_s := Float.min !disabled_s (time_rounds ());
+    Telemetry.install (Telemetry.null ());
+    nullsink_s := Float.min !nullsink_s (time_rounds ());
+    Telemetry.shutdown ()
+  done;
+  let overhead_pct = 100.0 *. ((!nullsink_s /. !disabled_s) -. 1.0) in
+  Printf.printf
+    "sat attack x%d: disabled %.3fs | null sink %.3fs | overhead %+.2f%% — %s\n%!"
+    rounds !disabled_s !nullsink_s overhead_pct
+    (if overhead_pct < 2.0 then "OK (<2%)" else "EXCEEDS 2% TARGET")
 
 (* ---------- layer 2: bechamel micro-benchmarks ---------- *)
 
@@ -305,7 +350,23 @@ let run_micro () =
     (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (tests ()))
 
 let () =
-  if not (env_flag "ORAP_SKIP_TABLES") then run_tables ();
-  if not (env_flag "ORAP_SKIP_RUNNER") then run_runner_bench ();
-  if not (env_flag "ORAP_SKIP_MICRO") then run_micro ();
+  (* ORAP_TRACE=FILE mirrors the CLI's --trace (chrome array for .json,
+     JSONL otherwise); ORAP_METRICS=FILE snapshots the registry on exit *)
+  (match Sys.getenv_opt "ORAP_TRACE" with
+  | None -> ()
+  | Some path ->
+    Telemetry.install
+      (if Filename.check_suffix path ".json" then Telemetry.chrome path
+       else Telemetry.jsonl path));
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.shutdown ();
+      match Sys.getenv_opt "ORAP_METRICS" with
+      | None -> ()
+      | Some path -> Metrics.write_json path)
+    (fun () ->
+      if not (env_flag "ORAP_SKIP_TABLES") then run_tables ();
+      if not (env_flag "ORAP_SKIP_RUNNER") then run_runner_bench ();
+      if not (env_flag "ORAP_SKIP_TELEMETRY") then run_telemetry_overhead ();
+      if not (env_flag "ORAP_SKIP_MICRO") then run_micro ());
   print_newline ()

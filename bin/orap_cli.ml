@@ -10,6 +10,47 @@ module Benchgen = Orap_benchgen.Benchgen
 module Locked = Orap_locking.Locked
 module E = Orap_experiments
 module Runner = Orap_runner.Runner
+module Telemetry = Orap_telemetry.Telemetry
+module Metrics = Orap_telemetry.Metrics
+module Trace = Orap_telemetry.Trace
+
+(* --- shared observability option group --- *)
+
+let obs_opts : (string option * string option) Term.t =
+  let docs = "OBSERVABILITY" in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docs ~docv:"FILE"
+          ~doc:
+            "Write a span/event trace to $(docv): Chrome trace_event JSON \
+             array when $(docv) ends in .json (loadable directly in \
+             about://tracing or Perfetto), JSONL event stream otherwise \
+             (validate with $(b,orap tracecheck)).")
+  in
+  let metrics =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docs ~docv:"FILE"
+          ~doc:
+            "Write a JSON snapshot of all counters, gauges and latency \
+             histograms to $(docv) on exit.")
+  in
+  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+
+(* run [f] under the requested trace sink / metrics snapshot *)
+let with_obs (trace, metrics) f =
+  (match trace with
+  | None -> ()
+  | Some path ->
+    Telemetry.install
+      (if Filename.check_suffix path ".json" then Telemetry.chrome path
+       else Telemetry.jsonl path));
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.shutdown ();
+      match metrics with None -> () | Some path -> Metrics.write_json path)
+    f
 
 (* --- shared runner option group (grid subcommands) --- *)
 
@@ -134,7 +175,8 @@ module Evaluate = Orap_attacks.Evaluate
 
 let attack_cmd =
   let run attack oracle seed gates key_size noise qbudget votes wall_clock
-      max_conflicts validate =
+      max_conflicts validate obs =
+    with_obs obs @@ fun () ->
     let fx =
       E.Security.make_fixture ~seed ~num_gates:gates ~key_size ()
     in
@@ -214,7 +256,7 @@ let attack_cmd =
   Cmd.v
     (Cmd.info "attack" ~doc:"Run an oracle-based attack on a locked fixture")
     Term.(const run $ attack $ oracle $ seed $ gates $ key_size $ noise
-          $ qbudget $ votes $ wall_clock $ max_conflicts $ validate)
+          $ qbudget $ votes $ wall_clock $ max_conflicts $ validate $ obs_opts)
 
 (* --- robustness --- *)
 
@@ -229,7 +271,8 @@ let robustness_cmd =
     | exception _ -> failwith ("bad " ^ what ^ " list: " ^ s)
   in
   let run seed gates key_size oracle noise qbudgets trials attacks iters
-      wall_clock max_conflicts votes options =
+      wall_clock max_conflicts votes options obs =
+    with_obs obs @@ fun () ->
     let oracle =
       match oracle with
       | "functional" -> E.Robustness.Functional
@@ -285,7 +328,7 @@ let robustness_cmd =
        ~doc:"Sweep noise level x query budget x attack against an imperfect oracle")
     Term.(const run $ seed $ gates $ key_size $ oracle $ noise $ qbudgets
           $ trials $ attacks $ iters $ wall_clock $ max_conflicts $ votes
-          $ runner_opts)
+          $ runner_opts $ obs_opts)
 
 (* --- experiment tables --- *)
 
@@ -294,7 +337,8 @@ let scale_arg =
          ~doc:"profile scale divisor; 0 = experiment default, 1 = paper scale")
 
 let table1_cmd =
-  let run scale options =
+  let run scale options obs =
+    with_obs obs @@ fun () ->
     let params =
       if scale = 0 then E.Table1.quick_params
       else { E.Table1.default_params with E.Table1.scale }
@@ -302,10 +346,11 @@ let table1_cmd =
     E.Report.print (E.Table1.report (E.Table1.run ~params ~options ()))
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I (HD, area, delay overhead)")
-    Term.(const run $ scale_arg $ runner_opts)
+    Term.(const run $ scale_arg $ runner_opts $ obs_opts)
 
 let table2_cmd =
-  let run scale options =
+  let run scale options obs =
+    with_obs obs @@ fun () ->
     let params =
       if scale = 0 then E.Table2.quick_params
       else { E.Table2.default_params with E.Table2.scale }
@@ -313,7 +358,7 @@ let table2_cmd =
     E.Report.print (E.Table2.report (E.Table2.run ~params ~options ()))
   in
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II (fault coverage)")
-    Term.(const run $ scale_arg $ runner_opts)
+    Term.(const run $ scale_arg $ runner_opts $ obs_opts)
 
 let security_cmd =
   let run () =
@@ -340,12 +385,13 @@ let security_cmd =
     Term.(const run $ const ())
 
 let trojans_cmd =
-  let run options =
+  let run options obs =
+    with_obs obs @@ fun () ->
     let fx = E.Security.make_fixture () in
     E.Report.print (E.Trojan_table.report (E.Trojan_table.run ~options fx))
   in
   Cmd.v (Cmd.info "trojans" ~doc:"Section III Trojan scenarios (payload/outcome)")
-    Term.(const run $ runner_opts)
+    Term.(const run $ runner_opts $ obs_opts)
 
 let ablation_cmd =
   let run () =
@@ -371,6 +417,40 @@ let scanflow_cmd =
        ~doc:"Apply ATPG patterns through the protected chip's scan chains")
     Term.(const run $ const ())
 
+let tracecheck_cmd =
+  let run input to_chrome =
+    let finish = function
+      | Ok n ->
+        Printf.printf "%s: %d events, all lines valid\n" input n;
+        `Ok ()
+      | Error e ->
+        `Error (false, Format.asprintf "%s: %a" input Trace.pp_error e)
+    in
+    match to_chrome with
+    | None -> finish (Trace.validate_file input)
+    | Some dst ->
+      let r = Trace.to_chrome ~src:input ~dst in
+      (match r with
+      | Ok n -> Printf.printf "wrote %s (%d events)\n" dst n
+      | Error _ -> ());
+      finish r
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let to_chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "to-chrome" ] ~docv:"OUT"
+          ~doc:
+            "Also convert the JSONL stream to a Chrome trace_event JSON \
+             array at $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "tracecheck"
+       ~doc:
+         "Strictly validate a JSONL trace written by --trace (every line \
+          must parse as an emitted trace event)")
+    Term.(ret (const run $ input $ to_chrome))
+
 let export_cmd =
   let run input out =
     let nl = read_netlist input in
@@ -389,6 +469,6 @@ let main =
        ~doc:"OraP: oracle-protection logic locking (DATE 2020 reproduction)")
     [ generate_cmd; lock_cmd; atpg_cmd; attack_cmd; robustness_cmd; export_cmd;
       table1_cmd; table2_cmd; security_cmd; trojans_cmd; ablation_cmd;
-      scanflow_cmd ]
+      scanflow_cmd; tracecheck_cmd ]
 
 let () = exit (Cmd.eval main)

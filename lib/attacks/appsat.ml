@@ -9,11 +9,13 @@ module Oracle = Orap_core.Oracle
 module Solver = Orap_sat.Solver
 module Lit = Orap_sat.Lit
 module Prng = Orap_sim.Prng
+module Telemetry = Orap_telemetry.Telemetry
 
 type result = {
   outcome : bool array Budget.outcome;
   iterations : int;
-  queries : int;
+  queries : int;  (** oracle queries made by THIS run (delta, not lifetime) *)
+  conflicts : int;  (** solver conflicts spent by this run *)
   elapsed_s : float;
 }
 
@@ -29,8 +31,11 @@ let run ?(budget = Budget.default) ?max_iterations ?(probe_every = 8)
   let st = Sat_attack.make_state locked in
   let rng = Prng.create seed in
   let nri = locked.Locked.num_regular_inputs in
+  let queries0 = Oracle.num_queries oracle in
+  let queries_here () = Oracle.num_queries oracle - queries0 in
   let finish outcome iters =
-    { outcome; iterations = iters; queries = Oracle.num_queries oracle;
+    { outcome; iterations = iters; queries = queries_here ();
+      conflicts = Solver.num_conflicts st.Sat_attack.solver;
       elapsed_s = Budget.elapsed_s clock }
   in
   (* probe the current constraint-consistent key on random queries *)
@@ -41,6 +46,7 @@ let run ?(budget = Budget.default) ?max_iterations ?(probe_every = 8)
         st.Sat_attack.solver
     with
     | Error r -> Error (Budget.Exhausted r)
+    | Ok Solver.Unknown -> assert false (* Budget.solve never returns it *)
     | Ok Solver.Unsat -> Error (Budget.Exhausted Budget.Inconsistent)
     | Ok Solver.Sat ->
       let key = Sat_attack.extract_key st st.Sat_attack.k1_vars in
@@ -78,7 +84,7 @@ let run ?(budget = Budget.default) ?max_iterations ?(probe_every = 8)
           if err <= error_threshold then
             let stats =
               Budget.stats_of clock ~iterations:iters
-                ~queries:(Oracle.num_queries oracle) ~estimated_error:err ()
+                ~queries:(queries_here ()) ~estimated_error:err ()
             in
             finish (Budget.Approximate (key, stats)) iters
           else begin
@@ -90,10 +96,14 @@ let run ?(budget = Budget.default) ?max_iterations ?(probe_every = 8)
       else dip_step iters
   and dip_step iters =
     match
-      Budget.solve clock ~assumptions:[| st.Sat_attack.activate |]
-        st.Sat_attack.solver
+      Telemetry.span "appsat.iteration"
+        ~args:[ ("iter", Telemetry.Int iters) ]
+        (fun () ->
+          Budget.solve clock ~assumptions:[| st.Sat_attack.activate |]
+            st.Sat_attack.solver)
     with
     | Error r -> finish (Budget.Exhausted r) iters
+    | Ok Solver.Unknown -> assert false
     | Ok Solver.Sat -> (
       let dip = Sat_attack.extract_key st st.Sat_attack.x_vars in
       Solver.backtrack_to_root st.Sat_attack.solver;
@@ -109,10 +119,19 @@ let run ?(budget = Budget.default) ?max_iterations ?(probe_every = 8)
           st.Sat_attack.solver
       with
       | Error r -> finish (Budget.Exhausted r) iters
+      | Ok Solver.Unknown -> assert false
       | Ok Solver.Sat ->
         let key = Sat_attack.extract_key st st.Sat_attack.k1_vars in
         Solver.backtrack_to_root st.Sat_attack.solver;
         finish (Budget.Exact key) iters
       | Ok Solver.Unsat -> finish (Budget.Exhausted Budget.Inconsistent) iters)
   in
-  loop 0
+  Telemetry.span "appsat.run"
+    ~exit_args:(fun r ->
+      [
+        ("iterations", Telemetry.Int r.iterations);
+        ("queries", Telemetry.Int r.queries);
+        ("conflicts", Telemetry.Int r.conflicts);
+        ("outcome", Telemetry.String (Budget.outcome_to_string r.outcome));
+      ])
+    (fun () -> loop 0)

@@ -13,6 +13,8 @@ module Oracle = Orap_core.Oracle
 module Faulty_oracle = Orap_core.Faulty_oracle
 module Solver = Orap_sat.Solver
 module Lit = Orap_sat.Lit
+module Telemetry = Orap_telemetry.Telemetry
+module Metrics = Orap_telemetry.Metrics
 
 (* --- why an attack stopped --- *)
 
@@ -107,7 +109,9 @@ let check_iteration c i =
 let conflict_slice = 4096
 
 (** Budget-aware satisfiability: [Ok result] on an honest answer, [Error
-    reason] when the conflict budget or the deadline ran out first. *)
+    reason] when the conflict budget or the deadline ran out first.  [Ok]
+    never carries [Solver.Unknown]: an indeterminate chunk either resumes
+    or becomes an [Error]. *)
 let solve c ?(assumptions = [||]) (s : Solver.t) :
     (Solver.result, reason) result =
   let cap_abs =
@@ -127,15 +131,46 @@ let solve c ?(assumptions = [||]) (s : Solver.t) :
         if cap = max_int then Ok (Solver.solve ~assumptions s)
         else
           match Solver.solve ~assumptions ~conflict_limit:cap s with
-          | Solver.Sat -> Ok Solver.Sat
-          | Solver.Unsat when Solver.num_conflicts s >= cap ->
-            (* the limit tripped, not a real Unsat: recheck budgets, resume *)
+          | (Solver.Sat | Solver.Unsat) as r -> Ok r
+          | Solver.Unknown ->
+            (* the chunk's limit tripped: recheck budgets, resume *)
             if Solver.num_conflicts s >= cap_abs then Error (Conflicts cap_abs)
             else go ()
-          | Solver.Unsat -> Ok Solver.Unsat
       end
   in
-  go ()
+  let conflicts0 = Solver.num_conflicts s in
+  let decisions0 = Solver.num_decisions s in
+  let propagations0 = Solver.num_propagations s in
+  Metrics.incr (Metrics.counter "solver.solves");
+  (* record per-solve statistic deltas; returns the span args so the same
+     closure also serves [Telemetry.span]'s exit hook *)
+  let record r =
+    let dc = Solver.num_conflicts s - conflicts0 in
+    let dd = Solver.num_decisions s - decisions0 in
+    let dp = Solver.num_propagations s - propagations0 in
+    Metrics.add (Metrics.counter "solver.conflicts") dc;
+    Metrics.add (Metrics.counter "solver.decisions") dd;
+    Metrics.add (Metrics.counter "solver.propagations") dp;
+    [
+      ( "result",
+        Telemetry.String
+          (match r with
+          | Ok Solver.Sat -> "sat"
+          | Ok Solver.Unsat -> "unsat"
+          | Ok Solver.Unknown -> "unknown"
+          | Error reason -> reason_to_string reason) );
+      ("conflicts", Telemetry.Int dc);
+      ("decisions", Telemetry.Int dd);
+      ("propagations", Telemetry.Int dp);
+    ]
+  in
+  if Telemetry.enabled () then
+    Telemetry.span "solver.solve" ~exit_args:record go
+  else begin
+    let r = go () in
+    ignore (record r);
+    r
+  end
 
 (** Oracle query that converts {!Faulty_oracle.Refused} into a reason. *)
 let query (oracle : Oracle.t) inputs : (bool array, reason) result =

@@ -62,8 +62,12 @@ val check_iteration : clock -> int -> reason option
 (** Budget-aware satisfiability: threads the remaining conflict budget
     through [Solver.solve]'s [?conflict_limit] and slices long solves so a
     wall-clock deadline is honoured to ~thousands of conflicts.  [Ok
-    result] is an honest answer; [Error reason] means a budget ran out
-    mid-solve. *)
+    result] is an honest answer and never carries [Solver.Unknown] — an
+    indeterminate chunk resumes or becomes [Error]; in particular a
+    genuine [Unsat] proved on exactly the cap-th conflict is [Ok Unsat].
+    [Error reason] means a budget ran out mid-solve.  Each call emits one
+    ["solver.solve"] telemetry span carrying conflict/decision/propagation
+    deltas, and always feeds the [solver.*] metrics counters. *)
 val solve :
   clock ->
   ?assumptions:Orap_sat.Lit.t array ->

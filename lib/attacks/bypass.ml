@@ -85,6 +85,7 @@ let find_disagreements (locked : Locked.t) (oracle : Oracle.t) key key2 ~clock =
       | Error r ->
         stopped := Some (Budget.Exhausted r);
         continue_ := false
+      | Ok Solver.Unknown -> assert false (* Budget.solve never returns it *)
       | Ok Solver.Unsat -> continue_ := false
       | Ok Solver.Sat -> (
         incr iters;
@@ -177,6 +178,7 @@ let run ?(budget = { Budget.default with Budget.max_iterations = 32 })
     | None -> budget
   in
   let clock = Budget.start budget in
+  let queries0 = Oracle.num_queries oracle in
   let rng = Orap_sim.Prng.create seed in
   let ksz = Locked.key_size locked in
   let key = Orap_sim.Prng.bool_array rng ksz in
@@ -189,7 +191,7 @@ let run ?(budget = { Budget.default with Budget.max_iterations = 32 })
     | None ->
       let stats =
         Budget.stats_of clock ~iterations:(List.length patches)
-          ~queries:(Oracle.num_queries oracle) ()
+          ~queries:(Oracle.num_queries oracle - queries0) ()
       in
       Budget.Approximate (build_patched locked key patches, stats)
   in

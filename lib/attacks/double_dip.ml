@@ -10,11 +10,13 @@ module Oracle = Orap_core.Oracle
 module Solver = Orap_sat.Solver
 module Lit = Orap_sat.Lit
 module Tseitin = Orap_sat.Tseitin
+module Telemetry = Orap_telemetry.Telemetry
 
 type result = {
   outcome : bool array Budget.outcome;
   iterations : int;
-  queries : int;
+  queries : int;  (** oracle queries made by THIS run (delta, not lifetime) *)
+  conflicts : int;  (** solver conflicts spent by this run *)
   elapsed_s : float;
 }
 
@@ -78,16 +80,24 @@ let run ?(budget = { Budget.default with Budget.max_iterations = 128 })
           (Tseitin.output_vars nl nodes))
       keys
   in
+  let queries0 = Oracle.num_queries oracle in
   let finish outcome iters =
-    { outcome; iterations = iters; queries = Oracle.num_queries oracle;
+    { outcome; iterations = iters;
+      queries = Oracle.num_queries oracle - queries0;
+      conflicts = Solver.num_conflicts solver;
       elapsed_s = Budget.elapsed_s clock }
   in
   let rec loop iters =
     match Budget.check_iteration clock iters with
     | Some r -> finish (Budget.Exhausted r) iters
     | None -> (
-      match Budget.solve clock ~assumptions:[| activate |] solver with
+      match
+        Telemetry.span "double_dip.iteration"
+          ~args:[ ("iter", Telemetry.Int iters) ]
+          (fun () -> Budget.solve clock ~assumptions:[| activate |] solver)
+      with
       | Error r -> finish (Budget.Exhausted r) iters
+      | Ok Solver.Unknown -> assert false (* Budget.solve never returns it *)
       | Ok Solver.Sat -> (
         let dip = Array.map (fun v -> Solver.model_value solver v) x_vars in
         Solver.backtrack_to_root solver;
@@ -99,10 +109,19 @@ let run ?(budget = { Budget.default with Budget.max_iterations = 128 })
       | Ok Solver.Unsat -> (
         match Budget.solve clock ~assumptions:[| Lit.negate activate |] solver with
         | Error r -> finish (Budget.Exhausted r) iters
+        | Ok Solver.Unknown -> assert false
         | Ok Solver.Sat ->
           let key = Array.map (fun v -> Solver.model_value solver v) keys.(0) in
           Solver.backtrack_to_root solver;
           finish (Budget.Exact key) iters
         | Ok Solver.Unsat -> finish (Budget.Exhausted Budget.Inconsistent) iters))
   in
-  loop 0
+  Telemetry.span "double_dip.run"
+    ~exit_args:(fun r ->
+      [
+        ("iterations", Telemetry.Int r.iterations);
+        ("queries", Telemetry.Int r.queries);
+        ("conflicts", Telemetry.Int r.conflicts);
+        ("outcome", Telemetry.String (Budget.outcome_to_string r.outcome));
+      ])
+    (fun () -> loop 0)

@@ -74,6 +74,7 @@ let run ?(budget = Budget.default) ?(seed = 51) ?(sample = 48) ?(restarts = 3)
   let clock = Budget.start budget in
   let rng = Prng.create seed in
   let nri = locked.Locked.num_regular_inputs in
+  let queries0 = Oracle.num_queries oracle in
   let rec collect n acc =
     if n = 0 then Ok (List.rev acc)
     else
@@ -85,10 +86,10 @@ let run ?(budget = Budget.default) ?(seed = 51) ?(sample = 48) ?(restarts = 3)
   match collect sample [] with
   | Error r ->
     { outcome = Budget.Oracle_refused r; mismatches = max_int; flips = 0;
-      queries = Oracle.num_queries oracle }
+      queries = Oracle.num_queries oracle - queries0 }
   | Ok pairs ->
     let key, mismatches, flips = climb locked pairs ~seed:(seed + 1) ~restarts in
-    let queries = Oracle.num_queries oracle in
+    let queries = Oracle.num_queries oracle - queries0 in
     { outcome = outcome_of clock locked key ~mismatches ~pairs ~queries;
       mismatches; flips; queries }
 

@@ -53,7 +53,7 @@ let sensitize (locked : Locked.t) j : (bool array * bool array) option =
   in
   ignore (Solver.add_clause solver (Array.to_list (Array.map Lit.pos diffs)));
   match Solver.solve solver with
-  | Solver.Unsat -> None
+  | Solver.Unsat | Solver.Unknown -> None
   | Solver.Sat ->
     let x = Array.map (fun v -> Solver.model_value solver v) x_vars in
     let k_rest = Array.map (fun v -> Solver.model_value solver v) k_vars in
@@ -62,6 +62,7 @@ let sensitize (locked : Locked.t) j : (bool array * bool array) option =
 let run ?(budget = Budget.default) ?(seed = 61) (locked : Locked.t)
     (oracle : Oracle.t) : result =
   let clock = Budget.start budget in
+  let queries0 = Oracle.num_queries oracle in
   let ksz = Locked.key_size locked in
   let rng = Prng.create seed in
   let key = Array.init ksz (fun _ -> Prng.bool rng) in
@@ -96,7 +97,7 @@ let run ?(budget = Budget.default) ?(seed = 61) (locked : Locked.t)
              ())
      done
    with Exit -> ());
-  let queries = Oracle.num_queries oracle in
+  let queries = Oracle.num_queries oracle - queries0 in
   let outcome =
     match !stopped with
     | Some o -> o

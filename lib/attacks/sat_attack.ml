@@ -15,11 +15,13 @@ module Oracle = Orap_core.Oracle
 module Solver = Orap_sat.Solver
 module Lit = Orap_sat.Lit
 module Tseitin = Orap_sat.Tseitin
+module Telemetry = Orap_telemetry.Telemetry
 
 type result = {
   outcome : bool array Budget.outcome;
   iterations : int;
-  queries : int;
+  queries : int;  (** oracle queries made by THIS run (delta, not lifetime) *)
+  conflicts : int;  (** solver conflicts spent by this run *)
   elapsed_s : float;
 }
 
@@ -114,8 +116,13 @@ let run ?(budget = Budget.default) ?max_iterations ?(validate = 0)
   in
   let clock = Budget.start budget in
   let st = make_state locked in
+  (* snapshot the oracle's lifetime counter so shared oracles report this
+     run's queries, not every run's *)
+  let queries0 = Oracle.num_queries oracle in
+  let queries_here () = Oracle.num_queries oracle - queries0 in
   let finish outcome iters =
-    { outcome; iterations = iters; queries = Oracle.num_queries oracle;
+    { outcome; iterations = iters; queries = queries_here ();
+      conflicts = Solver.num_conflicts st.solver;
       elapsed_s = Budget.elapsed_s clock }
   in
   let audit_proof key iters =
@@ -148,36 +155,56 @@ let run ?(budget = Budget.default) ?max_iterations ?(validate = 0)
           Budget.Approximate
             ( key,
               Budget.stats_of clock ~iterations:iters
-                ~queries:(Oracle.num_queries oracle) ~estimated_error:err () )
+                ~queries:(queries_here ()) ~estimated_error:err () )
     end
+  in
+  (* one DIP iteration: miter solve, oracle query, IO constraint *)
+  let step iters =
+    match Budget.solve clock ~assumptions:[| st.activate |] st.solver with
+    | Error r -> `Stop (finish (Budget.Exhausted r) iters)
+    | Ok Solver.Unknown -> assert false (* Budget.solve never returns it *)
+    | Ok Solver.Sat -> (
+      let dip = extract_key st st.x_vars in
+      Solver.backtrack_to_root st.solver;
+      match Budget.query oracle dip with
+      | Error r -> `Stop (finish (Budget.Oracle_refused r) iters)
+      | Ok y ->
+        add_io_constraint st dip y;
+        `Continue)
+    | Ok Solver.Unsat -> (
+      (* miter exhausted: extract any constraint-consistent key *)
+      match
+        Budget.solve clock ~assumptions:[| Lit.negate st.activate |] st.solver
+      with
+      | Error r -> `Stop (finish (Budget.Exhausted r) iters)
+      | Ok Solver.Unknown -> assert false
+      | Ok Solver.Sat ->
+        let key = extract_key st st.k1_vars in
+        Solver.backtrack_to_root st.solver;
+        `Stop (finish (audit_proof key iters) iters)
+      | Ok Solver.Unsat ->
+        (* the oracle's answers were inconsistent with EVERY key — the
+           signature of a locked (OraP-protected) oracle *)
+        `Stop (finish (Budget.Exhausted Budget.Inconsistent) iters))
   in
   let rec loop iters =
     match Budget.check_iteration clock iters with
     | Some r -> finish (Budget.Exhausted r) iters
     | None -> (
-      match Budget.solve clock ~assumptions:[| st.activate |] st.solver with
-      | Error r -> finish (Budget.Exhausted r) iters
-      | Ok Solver.Sat -> (
-        let dip = extract_key st st.x_vars in
-        Solver.backtrack_to_root st.solver;
-        match Budget.query oracle dip with
-        | Error r -> finish (Budget.Oracle_refused r) iters
-        | Ok y ->
-          add_io_constraint st dip y;
-          loop (iters + 1))
-      | Ok Solver.Unsat -> (
-        (* miter exhausted: extract any constraint-consistent key *)
-        match
-          Budget.solve clock ~assumptions:[| Lit.negate st.activate |] st.solver
-        with
-        | Error r -> finish (Budget.Exhausted r) iters
-        | Ok Solver.Sat ->
-          let key = extract_key st st.k1_vars in
-          Solver.backtrack_to_root st.solver;
-          finish (audit_proof key iters) iters
-        | Ok Solver.Unsat ->
-          (* the oracle's answers were inconsistent with EVERY key — the
-             signature of a locked (OraP-protected) oracle *)
-          finish (Budget.Exhausted Budget.Inconsistent) iters))
+      match
+        Telemetry.span "sat_attack.iteration"
+          ~args:[ ("iter", Telemetry.Int iters) ]
+          (fun () -> step iters)
+      with
+      | `Stop r -> r
+      | `Continue -> loop (iters + 1))
   in
-  loop 0
+  Telemetry.span "sat_attack.run"
+    ~exit_args:(fun r ->
+      [
+        ("iterations", Telemetry.Int r.iterations);
+        ("queries", Telemetry.Int r.queries);
+        ("conflicts", Telemetry.Int r.conflicts);
+        ("outcome", Telemetry.String (Budget.outcome_to_string r.outcome));
+      ])
+    (fun () -> loop 0)

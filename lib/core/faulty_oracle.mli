@@ -45,7 +45,12 @@ type meter = {
 
 (** [with_latency ~cost_s inner] meters every query and adds a modelled
     fixed access cost [cost_s] (scan shifting a real chip is slow) to the
-    accounting; returns the wrapped oracle and its meter. *)
+    accounting; returns the wrapped oracle and its meter.
+
+    Note: {!Oracle.query} now feeds every call into the global
+    [oracle.query_latency_s] metrics histogram, which subsumes this meter
+    for observability purposes — the meter remains the tool for modelling
+    an access *cost* and reading it back programmatically in experiments. *)
 val with_latency : ?cost_s:float -> Oracle.t -> Oracle.t * meter
 
 val mean_latency_s : meter -> float

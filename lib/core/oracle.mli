@@ -12,9 +12,13 @@ type t = {
 (** Query the oracle with a full input vector of the locked core
     (external primary inputs followed by state-FF values); returns the full
     output vector (external outputs followed by next-state values).
-    Increments the query counter.  Every built-in oracle validates the
-    query width at its boundary and raises [Invalid_argument] with a
-    message naming the oracle, the expected and the actual width. *)
+    Increments the query counter, feeds the [oracle.queries] metrics
+    counter and the [oracle.query_latency_s] histogram, and (when tracing
+    is enabled) emits one ["oracle.query"] span per call — including calls
+    that raise, so refusals stay visible in the timeline.  Every built-in
+    oracle validates the query width at its boundary and raises
+    [Invalid_argument] with a message naming the oracle, the expected and
+    the actual width. *)
 val query : t -> bool array -> bool array
 
 val num_queries : t -> int

@@ -44,6 +44,7 @@ let sat_equiv a b =
   in
   add (Array.to_list (Array.map Lit.pos diffs));
   match Solver.solve solver with
+  | Solver.Unknown -> assert false (* no conflict_limit: cannot happen *)
   | Solver.Unsat -> Equivalent
   | Solver.Sat ->
     Inequivalent (Array.map (fun v -> Solver.model_value solver v) x_vars)

@@ -5,8 +5,12 @@ type t = {
   interval_s : float;
   out : out_channel;
   enabled : bool;
+  now : unit -> float;
   mutex : Mutex.t;
   started : float;
+  mutable compute_started : float option;
+      (** when real computation began — cache replay before this instant is
+          excluded from the throughput estimate *)
   mutable computed : int;
   mutable cached : int;
   mutable last_emit : float;
@@ -14,14 +18,17 @@ type t = {
   mutable tag_order : string list;  (** first-seen order, reversed *)
 }
 
-let create ?(interval_s = 1.0) ?(out = stderr) ?(enabled = true) ~total () =
+let create ?(interval_s = 1.0) ?(out = stderr) ?(enabled = true)
+    ?(now = Unix.gettimeofday) ~total () =
   {
     total;
     interval_s;
     out;
     enabled;
+    now;
     mutex = Mutex.create ();
-    started = Unix.gettimeofday ();
+    started = now ();
+    compute_started = None;
     computed = 0;
     cached = 0;
     last_emit = 0.0;
@@ -31,17 +38,39 @@ let create ?(interval_s = 1.0) ?(out = stderr) ?(enabled = true) ~total () =
 
 let completed t = t.computed + t.cached
 
-let line t =
-  let elapsed = Unix.gettimeofday () -. t.started in
-  let rate =
-    if elapsed > 0.0 then float_of_int t.computed /. elapsed else 0.0
-  in
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let start_compute t =
+  locked t (fun () ->
+      if t.compute_started = None then t.compute_started <- Some (t.now ()))
+
+(* computed cells per second of COMPUTE time: measuring from [started]
+   would fold journal-load/cache-replay time into the denominator and
+   understate the rate (so overstate the ETA) on resumed runs *)
+let rate_unlocked t =
+  let base = match t.compute_started with Some s -> s | None -> t.started in
+  let elapsed = t.now () -. base in
+  if elapsed > 0.0 then float_of_int t.computed /. elapsed else 0.0
+
+let rate t = locked t (fun () -> rate_unlocked t)
+
+let eta_s_unlocked t =
   let remaining = t.total - completed t in
+  if remaining <= 0 then Some 0.0
+  else
+    let rate = rate_unlocked t in
+    if rate > 0.0 then Some (float_of_int remaining /. rate) else None
+
+let eta_s t = locked t (fun () -> eta_s_unlocked t)
+
+let line_unlocked t =
+  let rate = rate_unlocked t in
   let eta =
-    if remaining = 0 then "0.0s"
-    else if rate > 0.0 then
-      Printf.sprintf "%.1fs" (float_of_int remaining /. rate)
-    else "?"
+    match eta_s_unlocked t with
+    | Some s -> Printf.sprintf "%.1fs" s
+    | None -> "?"
   in
   let cached =
     if t.cached > 0 then Printf.sprintf "  (%d cached)" t.cached else ""
@@ -60,19 +89,19 @@ let line t =
   Printf.sprintf "[runner] %d/%d cells  %.1f cells/s  ETA %s%s%s"
     (completed t) t.total rate eta cached tags
 
+let line t = locked t (fun () -> line_unlocked t)
+
 let emit t =
-  output_string t.out (line t ^ "\n");
+  output_string t.out (line_unlocked t ^ "\n");
   flush t.out
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
-
-let add_cached t n =
-  locked t (fun () -> t.cached <- t.cached + n)
+let add_cached t n = locked t (fun () -> t.cached <- t.cached + n)
 
 let tick t ~tag =
   locked t (fun () ->
+      (* fallback for callers that never announce the compute phase: date
+         it from the first tick so replay time still stays excluded *)
+      if t.compute_started = None then t.compute_started <- Some t.started;
       t.computed <- t.computed + 1;
       (match Hashtbl.find_opt t.tally tag with
       | Some n -> Hashtbl.replace t.tally tag (n + 1)
@@ -80,7 +109,7 @@ let tick t ~tag =
         Hashtbl.add t.tally tag 1;
         t.tag_order <- tag :: t.tag_order);
       if t.enabled then begin
-        let now = Unix.gettimeofday () in
+        let now = t.now () in
         if now -. t.last_emit >= t.interval_s then begin
           t.last_emit <- now;
           emit t

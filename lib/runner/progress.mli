@@ -8,14 +8,24 @@ type t
 
 (** [create ~total ()] — [interval_s] (default 1.0) throttles emission;
     [enabled:false] (the default used under tests) keeps the counters but
-    never writes; output goes to [out] (default [stderr]). *)
+    never writes; output goes to [out] (default [stderr]); [now] injects a
+    clock for deterministic tests (default [Unix.gettimeofday]). *)
 val create :
   ?interval_s:float ->
   ?out:out_channel ->
   ?enabled:bool ->
+  ?now:(unit -> float) ->
   total:int ->
   unit ->
   t
+
+(** Mark the start of real computation.  Time before this call — journal
+    loading, cache replay — is excluded from the throughput estimate, so
+    resumed runs don't report a diluted rate and an inflated ETA.  Called
+    by the runner after cache replay; idempotent.  If never called, the
+    first [tick] dates the compute phase from [create] (the pre-fix
+    behaviour). *)
+val start_compute : t -> unit
 
 (** Record [n] cells satisfied from the journal (they count as done but not
     towards the throughput estimate). *)
@@ -23,6 +33,14 @@ val add_cached : t -> int -> unit
 
 (** Record one freshly computed cell carrying an outcome tag. *)
 val tick : t -> tag:string -> unit
+
+(** Freshly computed cells per second of compute time (0 before the first
+    measurable interval). *)
+val rate : t -> float
+
+(** Estimated seconds to completion: [Some 0.] when done, [None] while the
+    rate is still unmeasurable. *)
+val eta_s : t -> float option
 
 (** The current status line, e.g.
     ["[runner] 12/40 cells  3.1 cells/s  ETA 9.0s  (4 cached)  6 exact, 2 timeout"]. *)

@@ -1,5 +1,8 @@
 (** See runner.mli. *)
 
+module Telemetry = Orap_telemetry.Telemetry
+module Metrics = Orap_telemetry.Metrics
+
 type options = {
   jobs : int;
   journal : string option;
@@ -63,7 +66,9 @@ let map_grid ?(options = default_options) ?codec ?(tag = fun _ -> "done") ~id
     Progress.create ~interval_s:options.progress_interval_s
       ~enabled:options.progress ~total:n ()
   in
-  Progress.add_cached progress (n - Array.length todo);
+  let cached = n - Array.length todo in
+  Progress.add_cached progress cached;
+  Metrics.add (Metrics.counter "runner.cache_hits") cached;
   let journal =
     match options.journal with
     | Some path -> Some (Journal.open_append path)
@@ -73,13 +78,24 @@ let map_grid ?(options = default_options) ?codec ?(tag = fun _ -> "done") ~id
     (match (journal, codec) with
     | Some j, Some c ->
       Journal.append j ~key:todo.(i).Task.key ~id:todo.(i).Task.id
-        ~data:(c.encode v)
+        ~data:(c.encode v);
+      Metrics.incr (Metrics.counter "runner.journal_appends")
     | _ -> ());
+    Metrics.incr (Metrics.counter "runner.cells_computed");
     Progress.tick progress ~tag:(tag v)
   in
+  (* cache replay ends here: the throughput estimate starts now *)
+  Progress.start_compute progress;
   let outcomes =
     Pool.map ~jobs:options.jobs ~on_result
-      (fun _ cell -> f ~seed:cell.Task.seed cell.Task.payload)
+      (fun _ cell ->
+        Telemetry.span "runner.cell"
+          ~args:
+            [
+              ("id", Telemetry.String cell.Task.id);
+              ("key", Telemetry.String cell.Task.key);
+            ]
+          (fun () -> f ~seed:cell.Task.seed cell.Task.payload))
       todo
   in
   (match journal with Some j -> Journal.close j | None -> ());

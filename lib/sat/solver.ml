@@ -6,7 +6,7 @@
     container ships no SAT tooling, and the SAT attack of the paper needs an
     incremental solver). *)
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
 
 type clause = {
   lits : int array;  (* watched literals are lits.(0) and lits.(1) *)
@@ -465,7 +465,7 @@ let solve ?(assumptions : Lit.t array = [||]) ?(conflict_limit = max_int) s : re
               record_learnt s learnt;
               s.var_inc <- s.var_inc *. var_decay;
               s.cla_inc <- s.cla_inc *. cla_decay;
-              if s.conflicts >= conflict_limit then raise (Answered Unsat)
+              if s.conflicts >= conflict_limit then raise (Answered Unknown)
             end
             else begin
               if !conflicts_here >= conflict_budget then begin
@@ -519,7 +519,7 @@ let solve ?(assumptions : Lit.t array = [||]) ?(conflict_limit = max_int) s : re
     in
     (match result with
     | Sat -> () (* model read before next cancel *)
-    | Unsat -> cancel_until s 0);
+    | Unsat | Unknown -> cancel_until s 0);
     result
   end
 

@@ -2,7 +2,13 @@
     VSIDS branching with phase saving, Luby restarts, activity-based learnt
     clause reduction and assumption-based incremental solving. *)
 
-type result = Sat | Unsat
+type result =
+  | Sat
+  | Unsat
+  | Unknown
+      (** the conflict limit tripped before the solver reached an answer —
+        distinct from [Unsat] so budgeted callers never misread a genuine
+        refutation that lands exactly at the cap *)
 
 type t
 
@@ -23,8 +29,11 @@ val add_clause : t -> Lit.t list -> bool
 (** {1 Solving} *)
 
 (** [solve ?assumptions ?conflict_limit s] decides satisfiability under the
-    given assumption literals.  The solver can be reused: clauses may be
-    added and [solve] called again (backtracking to the root first). *)
+    given assumption literals.  Returns [Unknown] iff [conflict_limit] is
+    reached without an answer; note the level-0 conflict check precedes the
+    limit check, so a refutation found on exactly the cap-th conflict is
+    still reported [Unsat].  The solver can be reused: clauses may be added
+    and [solve] called again (backtracking to the root first). *)
 val solve : ?assumptions:Lit.t array -> ?conflict_limit:int -> t -> result
 
 (** Model access, valid after a [Sat] answer and before the next solver

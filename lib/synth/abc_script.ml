@@ -5,9 +5,17 @@
     Area is the live AND-node count (gates without inverters); delay is the
     AND level of the deepest output. *)
 
+module Telemetry = Orap_telemetry.Telemetry
+
 type metrics = { ands : int; levels : int }
 
 let metrics_of_aig aig = { ands = Aig.num_live_ands aig; levels = Aig.depth aig }
+
+(* each rewriting pass is timed and reports the AND count it produced *)
+let timed name f =
+  Telemetry.span name
+    ~exit_args:(fun aig -> [ ("ands", Telemetry.Int (Aig.num_live_ands aig)) ])
+    f
 
 (** [optimize netlist] returns the optimised AIG.  [effort] bounds the
     number of refactor/rewrite rounds. *)
@@ -15,10 +23,10 @@ let optimize ?(effort = 1) (nl : Orap_netlist.Netlist.t) : Aig.t =
   let aig = ref (Aig.of_netlist nl) in
   for _ = 1 to effort do
     (* refactor: large cuts; rewrite: small cuts everywhere *)
-    aig := Refactor.run ~cut_size:10 ~min_cone:3 !aig;
-    aig := Refactor.run ~cut_size:4 ~min_cone:1 !aig
+    aig := timed "synth.refactor" (fun () -> Refactor.run ~cut_size:10 ~min_cone:3 !aig);
+    aig := timed "synth.rewrite" (fun () -> Refactor.run ~cut_size:4 ~min_cone:1 !aig)
   done;
-  aig := Balance.run !aig;
+  aig := timed "synth.balance" (fun () -> Balance.run !aig);
   !aig
 
 (** Optimise and report the paper's two metrics. *)

@@ -1,0 +1,33 @@
+(** Strict reader for the {!Telemetry.jsonl} sink's event stream.
+
+    The parser accepts exactly the line format {!Telemetry.event_to_json}
+    emits — one Chrome trace_event object per line — and rejects anything
+    else with a reason.  CI uses {!validate_file} to assert that a traced
+    smoke run produced a well-formed stream; {!to_chrome} wraps a JSONL
+    stream into a JSON array loadable directly in [about://tracing] or
+    Perfetto. *)
+
+type error = {
+  line_no : int;  (** 1-based *)
+  line : string;
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Parse one line.  [Error reason] if the line deviates from the emitted
+    format in any way (unknown key, missing field, trailing bytes, bad
+    escape, [dur] on a non-span, ...). *)
+val parse_line : string -> (Telemetry.event, string) result
+
+(** All events of a JSONL trace, in file order.  Blank lines are not
+    tolerated: the sink never writes them. *)
+val read_file : string -> (Telemetry.event list, error) result
+
+(** Strictly parse every line; [Ok n] is the number of events. *)
+val validate_file : string -> (int, error) result
+
+(** Convert a JSONL trace to a Chrome trace_event JSON array file.
+    Validates as it goes; on error the destination is still written but
+    truncated at the offending line. *)
+val to_chrome : src:string -> dst:string -> (int, error) result

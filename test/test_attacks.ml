@@ -51,6 +51,25 @@ let test_sat_query_accounting () =
   let r = Sat_attack.run lk oracle in
   check Alcotest.int "one query per DIP" r.Sat_attack.iterations r.Sat_attack.queries
 
+let test_shared_oracle_query_delta () =
+  (* regression: [queries] used to report the oracle's LIFETIME counter, so
+     the second attack against a shared oracle inherited the first one's
+     queries.  Both runs are identical, so both must report the same
+     per-run delta — and the oracle's lifetime total must be their sum. *)
+  let lk = Orap_locking.Random_ll.lock base ~key_size:10 in
+  let oracle = Oracle.functional lk in
+  let r1 = Sat_attack.run lk oracle in
+  let after_first = Oracle.num_queries oracle in
+  let r2 = Sat_attack.run lk oracle in
+  check Alcotest.int "identical runs report identical queries"
+    r1.Sat_attack.queries r2.Sat_attack.queries;
+  check Alcotest.int "second run reports its own delta"
+    (Oracle.num_queries oracle - after_first)
+    r2.Sat_attack.queries;
+  check Alcotest.int "lifetime total = sum of deltas"
+    (Oracle.num_queries oracle)
+    (r1.Sat_attack.queries + r2.Sat_attack.queries)
+
 let test_sat_iteration_cap () =
   let lk = Orap_locking.Sarlock.lock base ~key_size:14 in
   let r = Sat_attack.run ~max_iterations:20 lk (Oracle.functional lk) in
@@ -157,6 +176,8 @@ let suite =
       tc "SAT beats weighted locking" `Quick test_sat_beats_weighted;
       tc "SAT fails behind OraP" `Quick test_sat_fails_behind_orap;
       tc "SAT query accounting" `Quick test_sat_query_accounting;
+      tc "shared oracle reports per-run deltas" `Quick
+        test_shared_oracle_query_delta;
       tc "SAT iteration cap" `Quick test_sat_iteration_cap;
       tc "SARLock resists (slowly falls)" `Slow test_sarlock_one_key_per_dip;
       tc "AppSAT approximates SARLock" `Quick test_appsat_approximates_sarlock;

@@ -1,0 +1,88 @@
+(** Cross-layer properties tying the attack statistics to the telemetry
+    stream: the numbers an attack reports must agree with the events its
+    instrumented hot paths actually emitted.  This is the check that the
+    stats cannot silently drift from reality again (they used to: lifetime
+    oracle counts reported as per-run queries). *)
+
+module Locked = Orap_locking.Locked
+module Random_ll = Orap_locking.Random_ll
+module Oracle = Orap_core.Oracle
+module Budget = Orap_attacks.Budget
+module Sat_attack = Orap_attacks.Sat_attack
+module Prop = Orap_proptest.Prop
+module Gen = Orap_proptest.Gen
+module Telemetry = Orap_telemetry.Telemetry
+
+let benchgen = Gen.benchgen_netlist ~inputs:8 ~outputs:4 ~gates:40
+
+let with_seed g = Gen.pair g (Gen.int_range 0 0x3FFFFFFF)
+
+(* Run the SAT attack with a memory sink capturing every event it emits. *)
+let traced_attack (nl, seed) =
+  let lk = Random_ll.lock ~seed nl ~key_size:6 in
+  let oracle = Oracle.functional lk in
+  let sink, events = Telemetry.memory () in
+  let r = Telemetry.with_sink sink (fun () -> Sat_attack.run lk oracle) in
+  (r, events ())
+
+let spans name events =
+  List.filter
+    (fun e ->
+      e.Telemetry.phase = Telemetry.Complete && e.Telemetry.name = name)
+    events
+
+let int_arg key e =
+  match List.assoc_opt key e.Telemetry.args with
+  | Some (Telemetry.Int n) -> Some n
+  | _ -> None
+
+(* P: the attack's reported [queries] equals the number of "oracle.query"
+   spans in its trace — the report and the stream count the same thing *)
+let prop_queries_match_trace =
+  Prop.to_alcotest ~count:12
+    ~name:"reported queries = oracle.query span count"
+    ~gen:(with_seed benchgen) (fun input ->
+      let r, events = traced_attack input in
+      r.Sat_attack.queries = List.length (spans "oracle.query" events))
+
+(* P: the per-solve conflict deltas attached to "solver.solve" spans sum to
+   the attack's reported [conflicts], which in turn is the fresh solver's
+   lifetime total — no solve escapes instrumentation, none is counted
+   twice *)
+let prop_conflict_deltas_sum =
+  Prop.to_alcotest ~count:12
+    ~name:"solver.solve conflict deltas sum to reported conflicts"
+    ~gen:(with_seed benchgen) (fun input ->
+      let r, events = traced_attack input in
+      let solves = spans "solver.solve" events in
+      solves <> []
+      && List.for_all (fun e -> int_arg "conflicts" e <> None) solves
+      && List.fold_left
+           (fun acc e -> acc + Option.get (int_arg "conflicts" e))
+           0 solves
+         = r.Sat_attack.conflicts)
+
+(* P: the run span's exit args restate the result record, and the
+   iteration spans count every DIP round plus the final (UNSAT) round
+   that proves the key *)
+let prop_run_span_restates_result =
+  Prop.to_alcotest ~count:8
+    ~name:"sat_attack.run exit args match the result record"
+    ~gen:(with_seed benchgen) (fun input ->
+      let r, events = traced_attack input in
+      match spans "sat_attack.run" events with
+      | [ run ] ->
+        int_arg "iterations" run = Some r.Sat_attack.iterations
+        && int_arg "queries" run = Some r.Sat_attack.queries
+        && int_arg "conflicts" run = Some r.Sat_attack.conflicts
+        && List.length (spans "sat_attack.iteration" events)
+           = r.Sat_attack.iterations + 1
+      | _ -> false)
+
+let suite =
+  ( "prop-telemetry",
+    [
+      prop_queries_match_trace;
+      prop_conflict_deltas_sum;
+      prop_run_span_restates_result;
+    ] )

@@ -149,6 +149,44 @@ let test_progress_counters () =
   check Alcotest.bool "line tallies outcomes" true (contains line "2 exact");
   check Alcotest.bool "line keeps first-seen order" true (contains line "1 timeout")
 
+let test_progress_rate_excludes_replay () =
+  (* regression: on a resumed run the rate divided by time-since-create,
+     which includes journal replay, so the ETA was inflated by however
+     long the replay took *)
+  let now = ref 100.0 in
+  let p = Progress.create ~enabled:false ~now:(fun () -> !now) ~total:100 () in
+  now := 150.0;
+  (* 50s spent replaying 80 cached cells *)
+  Progress.add_cached p 80;
+  Progress.start_compute p;
+  now := 160.0;
+  (* 10s of compute produced 5 cells: 0.5 cells/s, 15 left -> ETA 30s *)
+  for _ = 1 to 5 do
+    Progress.tick p ~tag:"exact"
+  done;
+  check (Alcotest.float 1e-6) "rate is per compute second" 0.5
+    (Progress.rate p);
+  (match Progress.eta_s p with
+  | Some eta -> check (Alcotest.float 1e-6) "eta ignores replay time" 30.0 eta
+  | None -> Alcotest.fail "rate is measurable, eta must be Some");
+  (* at a constant rate the ETA must shrink monotonically as cells land *)
+  let last = ref infinity in
+  for _ = 1 to 10 do
+    now := !now +. 2.0;
+    Progress.tick p ~tag:"exact";
+    match Progress.eta_s p with
+    | Some eta ->
+      check Alcotest.bool "eta non-increasing at constant rate" true
+        (eta <= !last +. 1e-9);
+      last := eta
+    | None -> Alcotest.fail "eta must stay measurable"
+  done;
+  (* all cells done: ETA pins to zero *)
+  for _ = 1 to 5 do
+    Progress.tick p ~tag:"exact"
+  done;
+  check Alcotest.bool "done -> Some 0" true (Progress.eta_s p = Some 0.0)
+
 (* --- runner: map_grid --- *)
 
 let int_codec : int Runner.codec =
@@ -290,6 +328,8 @@ let suite =
       tc "journal crash truncation" `Quick test_journal_crash_truncation;
       tc "journal rejects garbage" `Quick test_journal_rejects_garbage;
       tc "progress counters" `Quick test_progress_counters;
+      tc "progress rate excludes cache replay" `Quick
+        test_progress_rate_excludes_replay;
       tc "map_grid order + parallel" `Quick test_map_grid_order_and_parallel;
       tc "map_grid seeds schedule-independent" `Quick
         test_map_grid_seeds_schedule_independent;

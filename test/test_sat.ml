@@ -8,7 +8,10 @@ module Prng = Orap_sim.Prng
 
 let result = Alcotest.testable
     (fun fmt r -> Format.pp_print_string fmt
-        (match r with Solver.Sat -> "SAT" | Solver.Unsat -> "UNSAT"))
+        (match r with
+        | Solver.Sat -> "SAT"
+        | Solver.Unsat -> "UNSAT"
+        | Solver.Unknown -> "UNKNOWN"))
     ( = )
 
 let test_lit_encoding () =
@@ -31,7 +34,7 @@ let test_unit_conflict () =
   ignore (Solver.add_clause s [ Lit.neg v ]);
   check result "x & ~x" Solver.Unsat (Solver.solve s)
 
-let php ~holes ~pigeons =
+let php_solver ~holes ~pigeons =
   let s = Solver.create () in
   let v = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
   for p = 0 to pigeons - 1 do
@@ -44,7 +47,56 @@ let php ~holes ~pigeons =
       done
     done
   done;
-  Solver.solve s
+  s
+
+let php ~holes ~pigeons = Solver.solve (php_solver ~holes ~pigeons)
+
+(* conflicts a fresh solver spends refuting php(holes, pigeons); the solver
+   is deterministic so a second fresh run replays the same trajectory *)
+let php_refutation_conflicts ~holes ~pigeons =
+  let s = php_solver ~holes ~pigeons in
+  check result "refutable" Solver.Unsat (Solver.solve s);
+  Solver.num_conflicts s
+
+let test_conflict_limit_unknown () =
+  let full = php_refutation_conflicts ~holes:7 ~pigeons:8 in
+  check Alcotest.bool "php(7,8) costs conflicts" true (full > 4);
+  let s = php_solver ~holes:7 ~pigeons:8 in
+  check result "limit trips mid-proof" Solver.Unknown
+    (Solver.solve ~conflict_limit:4 s);
+  (* the solver stays usable: an uncapped resume reaches the real answer *)
+  check result "resume after Unknown" Solver.Unsat (Solver.solve s)
+
+(* regression: a genuine refutation completed on exactly the cap-th
+   conflict used to be indistinguishable from a tripped limit *)
+let test_unsat_at_exact_cap () =
+  let c = php_refutation_conflicts ~holes:3 ~pigeons:4 in
+  check Alcotest.bool "php(3,4) costs conflicts" true (c > 0);
+  let s = php_solver ~holes:3 ~pigeons:4 in
+  check result "real Unsat at exactly the cap" Solver.Unsat
+    (Solver.solve ~conflict_limit:c s);
+  let s = php_solver ~holes:3 ~pigeons:4 in
+  check result "one conflict short is Unknown" Solver.Unknown
+    (Solver.solve ~conflict_limit:(c - 1) s)
+
+(* same boundary one layer up: Budget.solve must report Ok Unsat, not a
+   spent conflict budget, when the proof lands exactly on the cap *)
+let test_budget_unsat_at_exact_cap () =
+  let module Budget = Orap_attacks.Budget in
+  let c = php_refutation_conflicts ~holes:3 ~pigeons:4 in
+  let clock = Budget.start (Budget.make ~max_conflicts:c ()) in
+  (match Budget.solve clock (php_solver ~holes:3 ~pigeons:4) with
+  | Ok Solver.Unsat -> ()
+  | Ok Solver.Sat -> Alcotest.fail "expected Unsat, got Sat"
+  | Ok Solver.Unknown -> Alcotest.fail "Budget.solve leaked Unknown"
+  | Error r ->
+    Alcotest.fail
+      ("budget misread a genuine refutation as " ^ Budget.reason_to_string r));
+  let clock = Budget.start (Budget.make ~max_conflicts:(c - 1) ()) in
+  match Budget.solve clock (php_solver ~holes:3 ~pigeons:4) with
+  | Error (Budget.Conflicts _) -> ()
+  | Error r -> Alcotest.fail ("unexpected reason: " ^ Budget.reason_to_string r)
+  | Ok _ -> Alcotest.fail "a too-small budget must not produce an answer"
 
 let test_pigeonhole () =
   check result "php(3,4)" Solver.Unsat (php ~holes:3 ~pigeons:4);
@@ -110,7 +162,8 @@ let prop_random_3sat_sound =
         && List.for_all
              (List.exists (fun l -> Solver.model_lit s l))
              !clauses
-      | Solver.Unsat -> not expected)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
 
 (* --- Tseitin --- *)
 
@@ -152,7 +205,7 @@ let prop_tseitin_matches_simulation =
             (Solver.add_clause s [ (if inp.(i) then Lit.pos v else Lit.neg v) ]))
         x;
       match Solver.solve s with
-      | Solver.Unsat -> false
+      | Solver.Unsat | Solver.Unknown -> false
       | Solver.Sat ->
         let sim = Orap_sim.Sim.eval_bools nl inp in
         Array.for_all2 (fun ov expect -> Solver.model_value s ov = expect)
@@ -219,6 +272,9 @@ let suite =
       tc "empty formula" `Quick test_empty_sat;
       tc "unit conflict" `Quick test_unit_conflict;
       tc "pigeonhole" `Quick test_pigeonhole;
+      tc "conflict limit yields Unknown" `Quick test_conflict_limit_unknown;
+      tc "real Unsat at exact conflict cap" `Quick test_unsat_at_exact_cap;
+      tc "budget honours Unsat at exact cap" `Quick test_budget_unsat_at_exact_cap;
       tc "assumptions" `Quick test_assumptions;
       tc "incremental clause adding" `Quick test_incremental_add;
       prop_random_3sat_sound;
